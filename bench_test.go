@@ -1,0 +1,134 @@
+// Package golapi's top-level benchmarks regenerate every table and figure
+// of the paper's evaluation. Each benchmark runs the corresponding
+// experiment on the simulated SP switch and reports the measured values as
+// custom metrics (virtual microseconds / MB/s), alongside the wall-clock
+// cost of simulating it.
+//
+//	go test -bench=. -benchmem
+//
+// The mapping to the paper:
+//
+//	BenchmarkTable2_Latency     -> Table 2 (4-byte latency, LAPI vs MPI/MPL)
+//	BenchmarkPipelineLatency    -> §4 pipeline latency (Put 16 µs, Get 19 µs)
+//	BenchmarkFigure2_Bandwidth  -> Figure 2 (one-way bandwidth vs size)
+//	BenchmarkGATable_Latency    -> §5.4 GA single-element latency
+//	BenchmarkFigure3_GAPut      -> Figure 3 (GA put bandwidth)
+//	BenchmarkFigure4_GAGet      -> Figure 4 (GA get bandwidth)
+//	BenchmarkApplication_SCF    -> §5.4 application-level comparison
+package golapi_test
+
+import (
+	"testing"
+
+	"golapi/internal/bench"
+)
+
+func us(ns int64) float64 { return float64(ns) / 1e3 }
+
+func BenchmarkTable2_Latency(b *testing.B) {
+	var t2 bench.Table2
+	var err error
+	for i := 0; i < b.N; i++ {
+		t2, err = bench.MeasureTable2()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(us(t2.LAPIPolling.Nanoseconds()), "lapi-oneway-µs")
+	b.ReportMetric(us(t2.MPIPolling.Nanoseconds()), "mpi-oneway-µs")
+	b.ReportMetric(us(t2.LAPIPollingRT.Nanoseconds()), "lapi-rt-µs")
+	b.ReportMetric(us(t2.MPIPollingRT.Nanoseconds()), "mpi-rt-µs")
+	b.ReportMetric(us(t2.LAPIInterruptRT.Nanoseconds()), "lapi-intr-rt-µs")
+	b.ReportMetric(us(t2.MPLInterruptRT.Nanoseconds()), "mpl-rcvncall-rt-µs")
+}
+
+func BenchmarkPipelineLatency(b *testing.B) {
+	var p bench.Pipeline
+	var err error
+	for i := 0; i < b.N; i++ {
+		p, err = bench.MeasurePipeline()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(us(p.Put.Nanoseconds()), "put-µs")
+	b.ReportMetric(us(p.Get.Nanoseconds()), "get-µs")
+}
+
+func BenchmarkFigure2_Bandwidth(b *testing.B) {
+	sizes := bench.Figure2Sizes()
+	var pts []bench.BandwidthPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = bench.MeasureFigure2(sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := pts[len(pts)-1]
+	b.ReportMetric(last.LAPI, "lapi-peak-MB/s")
+	b.ReportMetric(last.MPIDefault, "mpi-peak-MB/s")
+	b.ReportMetric(float64(bench.HalfPeakSize(pts, func(p bench.BandwidthPoint) float64 { return p.LAPI })), "lapi-halfpeak-B")
+	b.ReportMetric(float64(bench.HalfPeakSize(pts, func(p bench.BandwidthPoint) float64 { return p.MPIEager64 })), "mpi-halfpeak-B")
+}
+
+func BenchmarkGATable_Latency(b *testing.B) {
+	var l bench.GALatency
+	var err error
+	for i := 0; i < b.N; i++ {
+		l, err = bench.MeasureGALatency()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(us(l.LAPIGet.Nanoseconds()), "lapi-get-µs")
+	b.ReportMetric(us(l.MPLGet.Nanoseconds()), "mpl-get-µs")
+	b.ReportMetric(us(l.LAPIPut.Nanoseconds()), "lapi-put-µs")
+	b.ReportMetric(us(l.MPLPut.Nanoseconds()), "mpl-put-µs")
+}
+
+func BenchmarkFigure3_GAPut(b *testing.B) {
+	sizes := bench.Figure34Sizes()
+	var pts []bench.GABandwidthPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = bench.MeasureFigure3(sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := pts[len(pts)-1]
+	b.ReportMetric(last.LAPI1D, "lapi-1d-peak-MB/s")
+	b.ReportMetric(last.LAPI2D, "lapi-2d-peak-MB/s")
+	b.ReportMetric(last.MPL1D, "mpl-1d-peak-MB/s")
+}
+
+func BenchmarkFigure4_GAGet(b *testing.B) {
+	sizes := bench.Figure34Sizes()
+	var pts []bench.GABandwidthPoint
+	var err error
+	for i := 0; i < b.N; i++ {
+		pts, err = bench.MeasureFigure4(sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	last := pts[len(pts)-1]
+	b.ReportMetric(last.LAPI1D, "lapi-1d-peak-MB/s")
+	b.ReportMetric(last.LAPI2D, "lapi-2d-peak-MB/s")
+	b.ReportMetric(last.MPL1D, "mpl-1d-peak-MB/s")
+}
+
+func BenchmarkApplication_SCF(b *testing.B) {
+	var r bench.AppResult
+	var err error
+	for i := 0; i < b.N; i++ {
+		r, err = bench.MeasureApplication()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(r.LAPITime.Microseconds())/1e3, "lapi-ms")
+	b.ReportMetric(float64(r.MPLTime.Microseconds())/1e3, "mpl-ms")
+	b.ReportMetric(r.Improvement, "improvement-%")
+}

@@ -1,0 +1,87 @@
+// Command gabench regenerates the paper's §5.4 Global Arrays benchmarks:
+// the single-element latency table, Figure 3 (GA put bandwidth), Figure 4
+// (GA get bandwidth), and the application-level comparison.
+//
+// Usage:
+//
+//	gabench [-exp latency|fig3|fig4|app|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"golapi/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: latency, fig3, fig4, ablate, app, all")
+	csv := flag.Bool("csv", false, "emit data series as CSV (fig3, fig4)")
+	flag.Parse()
+	log.SetFlags(0)
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if run("latency") {
+		l, err := bench.MeasureGALatency()
+		if err != nil {
+			log.Fatalf("latency: %v", err)
+		}
+		fmt.Print(bench.FormatGALatency(l))
+		fmt.Println("paper: get 94.2/221 µs, put 49.6/54.6 µs")
+		fmt.Println()
+	}
+	if run("fig3") {
+		pts, err := bench.MeasureFigure3(bench.Figure34Sizes())
+		if err != nil {
+			log.Fatalf("fig3: %v", err)
+		}
+		if *csv {
+			fmt.Print(bench.CSVFigure34(pts))
+		} else {
+			fmt.Print(bench.FormatFigure34("Figure 3: GA put bandwidth under LAPI and MPL", pts))
+			fmt.Println()
+		}
+	}
+	if run("fig4") {
+		pts, err := bench.MeasureFigure4(bench.Figure34Sizes())
+		if err != nil {
+			log.Fatalf("fig4: %v", err)
+		}
+		if *csv {
+			fmt.Print(bench.CSVFigure34(pts))
+		} else {
+			fmt.Print(bench.FormatFigure34("Figure 4: GA get bandwidth under LAPI and MPL", pts))
+			fmt.Println()
+		}
+	}
+	if run("ablate") {
+		vp, err := bench.MeasureVectorAblation([]int{8192, 32768, 131072, 524288})
+		if err != nil {
+			log.Fatalf("ablate: %v", err)
+		}
+		fmt.Print(bench.FormatVectorAblation(vp))
+		fmt.Println()
+		cp, err := bench.MeasureChunkAblation([]int{128, 256, 512, 900, 2048, 4096})
+		if err != nil {
+			log.Fatalf("ablate: %v", err)
+		}
+		fmt.Print(bench.FormatChunkAblation(cp))
+		fmt.Println()
+		sp, err := bench.MeasureSwitchAblation([]int{32 * 1024, 128 * 1024, 512 * 1024, 1 << 20, 4 << 20})
+		if err != nil {
+			log.Fatalf("ablate: %v", err)
+		}
+		fmt.Print(bench.FormatSwitchAblation(sp))
+		fmt.Println()
+	}
+	if run("app") {
+		r, err := bench.MeasureApplication()
+		if err != nil {
+			log.Fatalf("app: %v", err)
+		}
+		fmt.Print(bench.FormatApp(r))
+		fmt.Println("paper: 10-50% improvement depending on problem and communication mix")
+	}
+}

@@ -1,0 +1,67 @@
+// Command lapibench regenerates the paper's §4 microbenchmarks on the
+// simulated SP switch: Table 2 (latency), the pipeline-latency figures, and
+// Figure 2 (one-way bandwidth).
+//
+// Usage:
+//
+//	lapibench [-exp table2|pipeline|fig2|all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"golapi/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table2, pipeline, fig2, scale, all")
+	csv := flag.Bool("csv", false, "emit data series as CSV (fig2, scale)")
+	flag.Parse()
+	log.SetFlags(0)
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+
+	if run("table2") {
+		t2, err := bench.MeasureTable2()
+		if err != nil {
+			log.Fatalf("table2: %v", err)
+		}
+		fmt.Print(bench.FormatTable2(t2))
+		fmt.Println("paper:            polling 34/43, polling RT 60/86, interrupt RT 89/200")
+		fmt.Println()
+	}
+	if run("pipeline") {
+		p, err := bench.MeasurePipeline()
+		if err != nil {
+			log.Fatalf("pipeline: %v", err)
+		}
+		fmt.Printf("Pipeline latency (§4): Put %.1f µs, Get %.1f µs  (paper: 16, 19)\n\n",
+			float64(p.Put.Nanoseconds())/1e3, float64(p.Get.Nanoseconds())/1e3)
+	}
+	if run("scale") {
+		pts, err := bench.MeasureScale([]int{2, 4, 8, 16, 32, 64})
+		if err != nil {
+			log.Fatalf("scale: %v", err)
+		}
+		if *csv {
+			fmt.Print(bench.CSVScale(pts))
+		} else {
+			fmt.Print(bench.FormatScale(pts))
+			fmt.Println()
+		}
+	}
+	if run("fig2") {
+		pts, err := bench.MeasureFigure2(bench.Figure2Sizes())
+		if err != nil {
+			log.Fatalf("fig2: %v", err)
+		}
+		if *csv {
+			fmt.Print(bench.CSVFigure2(pts))
+		} else {
+			fmt.Print(bench.FormatFigure2(pts))
+			fmt.Println("paper: LAPI asymptote ≈97 MB/s (half-peak ≈8 KB), MPI ≈98 MB/s (half-peak ≈23 KB)")
+		}
+	}
+}

@@ -1,0 +1,84 @@
+// Command tcplat measures real (wall-clock) LAPI latency and bandwidth
+// over the TCP transport on this machine — the library running as an
+// actual communication system rather than under the simulator. Absolute
+// numbers depend on the host; the tool exists to demonstrate the same code
+// driving real sockets.
+//
+// Usage:
+//
+//	tcplat [-reps 1000] [-size 1048576]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"golapi/internal/cluster"
+	"golapi/internal/exec"
+	"golapi/internal/lapi"
+)
+
+func main() {
+	reps := flag.Int("reps", 1000, "round trips for the latency test")
+	size := flag.Int("size", 1<<20, "message size for the bandwidth test")
+	flag.Parse()
+	log.SetFlags(0)
+
+	j, err := cluster.NewTCPLAPI(2, lapi.ZeroCost())
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = j.Run(func(ctx exec.Context, t *lapi.Task) {
+		buf := t.Alloc(*size)
+		ping := t.NewCounter()
+		pong := t.NewCounter()
+		addrs, err := t.AddressInit(ctx, buf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.Barrier(ctx)
+
+		// Ping-pong latency, 4-byte puts.
+		small := []byte{1, 2, 3, 4}
+		if t.Self() == 0 {
+			start := time.Now()
+			for i := 0; i < *reps; i++ {
+				t.Put(ctx, 1, addrs[1], small, ping.ID(), nil, nil)
+				t.Waitcntr(ctx, pong, 1)
+			}
+			rt := time.Since(start) / time.Duration(*reps)
+			fmt.Printf("TCP 4-byte put round trip: %v (%d reps)\n", rt, *reps)
+		} else {
+			for i := 0; i < *reps; i++ {
+				t.Waitcntr(ctx, ping, 1)
+				t.Put(ctx, 0, addrs[0], small, pong.ID(), nil, nil)
+			}
+		}
+		t.Barrier(ctx)
+
+		// One-way bandwidth: repeated puts with completion waits.
+		if t.Self() == 0 {
+			data := make([]byte, *size)
+			cmpl := t.NewCounter()
+			const bwReps = 32
+			start := time.Now()
+			for i := 0; i < bwReps; i++ {
+				if err := t.Put(ctx, 1, addrs[1], data, lapi.NoCounter, nil, cmpl); err != nil {
+					log.Fatal(err)
+				}
+				t.Waitcntr(ctx, cmpl, 1)
+			}
+			el := time.Since(start)
+			fmt.Printf("TCP put bandwidth (%d B msgs): %.1f MB/s\n",
+				*size, float64(*size)*bwReps/el.Seconds()/1e6)
+		} else {
+			_ = ctx
+		}
+		t.Gfence(ctx)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+}

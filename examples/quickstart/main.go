@@ -1,0 +1,91 @@
+// Quickstart: a tour of the LAPI API on a simulated 4-node SP system —
+// one-sided put/get, an active message with header and completion
+// handlers, an atomic read-modify-write, counters, and a global fence.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"golapi/internal/cluster"
+	"golapi/internal/exec"
+	"golapi/internal/lapi"
+)
+
+func main() {
+	c, err := cluster.NewSimDefault(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	err = c.Run(func(ctx exec.Context, t *lapi.Task) {
+		// Every task allocates a window of "registered" memory and
+		// publishes its address (LAPI_Address_init).
+		window := t.Alloc(64)
+		addrs, err := t.AddressInit(ctx, window)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// An active-message handler: the header handler picks the
+		// buffer, the completion handler runs when all data is in.
+		greet := t.RegisterHandler(func(tk *lapi.Task, info *lapi.AmInfo) (lapi.Addr, lapi.CompletionHandler) {
+			buf := tk.Alloc(info.DataLen)
+			from := info.Src
+			return buf, func(cctx exec.Context, tk2 *lapi.Task) {
+				msg := tk2.MustBytes(buf, info.DataLen)
+				fmt.Printf("[task %d @ %v] active message from %d: %q\n",
+					tk2.Self(), cctx.Now(), from, msg)
+			}
+		})
+
+		if t.Self() == 0 {
+			// One-sided put: no receive needed at task 1.
+			cmpl := t.NewCounter()
+			if err := t.Put(ctx, 1, addrs[1], []byte("written remotely"), lapi.NoCounter, nil, cmpl); err != nil {
+				log.Fatal(err)
+			}
+			t.Waitcntr(ctx, cmpl, 1)
+			fmt.Printf("[task 0 @ %v] put complete at task 1\n", ctx.Now())
+
+			// Active message to task 2.
+			t.Amsend(ctx, 2, greet, nil, []byte("hello from task 0"), lapi.NoCounter, nil, cmpl)
+			t.Waitcntr(ctx, cmpl, 1)
+
+			// Atomic fetch-and-add on task 3's memory.
+			var prev int64
+			org := t.NewCounter()
+			t.Rmw(ctx, lapi.RmwFetchAndAdd, 3, addrs[3], 42, 0, &prev, org)
+			t.Waitcntr(ctx, org, 1)
+			fmt.Printf("[task 0 @ %v] fetch-and-add on task 3: previous value %d\n", ctx.Now(), prev)
+		}
+
+		// Global fence: all communication complete everywhere.
+		t.Gfence(ctx)
+
+		if t.Self() == 1 {
+			fmt.Printf("[task 1 @ %v] my window now holds: %q\n",
+				ctx.Now(), t.MustBytes(window, 16))
+		}
+		if t.Self() == 3 {
+			v, _ := t.ReadInt64(window)
+			fmt.Printf("[task 3 @ %v] my counter word: %d\n", ctx.Now(), v)
+		}
+
+		// Pull the data back with a one-sided get.
+		if t.Self() == 2 {
+			back := make([]byte, 16)
+			org := t.NewCounter()
+			t.Get(ctx, 1, addrs[1], back, lapi.NoCounter, org)
+			t.Waitcntr(ctx, org, 1)
+			fmt.Printf("[task 2 @ %v] got from task 1: %q\n", ctx.Now(), back)
+		}
+		t.Gfence(ctx)
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulation finished at virtual time %v\n", c.Now())
+}

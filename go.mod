@@ -1,0 +1,3 @@
+module golapi
+
+go 1.22

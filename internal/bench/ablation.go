@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"golapi/internal/cluster"
+	"golapi/internal/exec"
+	"golapi/internal/ga"
+	"golapi/internal/lapi"
+)
+
+// Ablations: experiments beyond the paper's figures that isolate the
+// design choices DESIGN.md calls out — the §6 vector-ops future work, the
+// ≈900-byte AM pipelining chunk (§5.3.1), and the ≈0.5 MB direct-protocol
+// switch threshold (§5.4).
+
+// VectorAblationPoint compares GA 2-D transfer bandwidth with the paper's
+// AM/hybrid protocols against the §6 strided-vector extension.
+type VectorAblationPoint struct {
+	Bytes     int
+	PutAM     float64 // standard hybrid protocols (the paper's GA)
+	PutVector float64 // §6 PutStrided path
+	GetAM     float64
+	GetVector float64
+}
+
+// MeasureVectorAblation sweeps 2-D request sizes under both protocol
+// stacks.
+func MeasureVectorAblation(sizes []int) ([]VectorAblationPoint, error) {
+	points := make([]VectorAblationPoint, len(sizes))
+	for i, s := range sizes {
+		points[i].Bytes = s
+		for _, c := range []struct {
+			op  string
+			vec bool
+			out *float64
+		}{
+			{"put", false, &points[i].PutAM},
+			{"put", true, &points[i].PutVector},
+			{"get", false, &points[i].GetAM},
+			{"get", true, &points[i].GetVector},
+		} {
+			bw, err := gaBandwidthCfg(c.op, s, true, c.vec, ga.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			*c.out = bw
+		}
+	}
+	return points, nil
+}
+
+// gaBandwidthCfg is gaBandwidth for the LAPI backend with a custom GA
+// configuration (ablation knobs).
+func gaBandwidthCfg(op string, bytes int, twoD, useVec bool, gcfg ga.Config) (float64, error) {
+	gcfg.UseVectorOps = useVec
+	elems := bytes / 8
+	side := isqrt(elems)
+	reps := bwReps(bytes)
+	if reps > 60 {
+		reps = 60
+	}
+	reps = (reps / 3) * 3
+	if reps < 3 {
+		reps = 3
+	}
+	var elapsed time.Duration
+	actualBytes := bytes
+	c, err := cluster.NewSimDefault(4)
+	if err != nil {
+		return 0, err
+	}
+	err = c.Run(func(ctx exec.Context, t *lapi.Task) {
+		w, err := ga.NewLAPIWorld(ctx, t, gcfg)
+		if err != nil {
+			panic(err)
+		}
+		var a *ga.Array
+		if twoD {
+			a, err = w.Create(ctx, 2*side, 2*side)
+		} else {
+			a, err = w.Create(ctx, 4, 2*elems)
+		}
+		if err != nil {
+			panic(err)
+		}
+		w.Sync(ctx)
+		if w.Self() == 0 {
+			patchFor := func(tgt int) ga.Patch {
+				d := a.Distribution(tgt)
+				if twoD {
+					return d
+				}
+				return ga.Patch{RLo: d.RLo, RHi: d.RLo, CLo: d.CLo, CHi: d.CLo + elems - 1}
+			}
+			p0 := patchFor(1)
+			actualBytes = p0.Elems() * 8
+			buf := make([]float64, p0.Elems())
+			runOne(ctx, a, op, patchFor(1), buf)
+			start := ctx.Now()
+			for i := 0; i < reps; i++ {
+				runOne(ctx, a, op, patchFor(1+i%3), buf)
+			}
+			elapsed = ctx.Now() - start
+		}
+		w.Sync(ctx)
+	})
+	if err != nil {
+		return 0, err
+	}
+	return mbps(actualBytes, reps, elapsed), nil
+}
+
+func isqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+// ChunkAblationPoint shows GA 2-D put bandwidth as a function of the AM
+// pipelining chunk size (§5.3.1's empirically chosen ≈900 bytes).
+type ChunkAblationPoint struct {
+	ChunkBytes int
+	PutMBs     float64
+}
+
+// MeasureChunkAblation sweeps the AM chunk size at a fixed 32 KB 2-D
+// request.
+func MeasureChunkAblation(chunks []int) ([]ChunkAblationPoint, error) {
+	points := make([]ChunkAblationPoint, len(chunks))
+	for i, cb := range chunks {
+		cfg := ga.DefaultConfig()
+		cfg.AMChunkBytes = cb
+		bw, err := gaBandwidthCfg("put", 32768, true, false, cfg)
+		if err != nil {
+			return nil, err
+		}
+		points[i] = ChunkAblationPoint{ChunkBytes: cb, PutMBs: bw}
+	}
+	return points, nil
+}
+
+// SwitchAblationPoint shows the effect of the direct-protocol switch
+// threshold on a large 2-D get (§5.4's ≈0.5 MB switch).
+type SwitchAblationPoint struct {
+	ThresholdBytes int
+	GetMBs         float64
+}
+
+// MeasureSwitchAblation sweeps DirectSwitchBytes at a fixed 512 KB 2-D
+// request: thresholds above the request size force the AM protocol;
+// thresholds below it use per-row direct transfers.
+func MeasureSwitchAblation(thresholds []int) ([]SwitchAblationPoint, error) {
+	points := make([]SwitchAblationPoint, len(thresholds))
+	for i, th := range thresholds {
+		cfg := ga.DefaultConfig()
+		cfg.DirectSwitchBytes = th
+		bw, err := gaBandwidthCfg("get", 512*1024, true, false, cfg)
+		if err != nil {
+			return nil, err
+		}
+		points[i] = SwitchAblationPoint{ThresholdBytes: th, GetMBs: bw}
+	}
+	return points, nil
+}
+
+// FormatVectorAblation renders the vector-ops comparison.
+func FormatVectorAblation(points []VectorAblationPoint) string {
+	s := "Ablation: GA 2-D bandwidth, AM/hybrid protocols vs §6 vector ops [MB/s]\n"
+	s += fmt.Sprintf("%-10s %10s %10s %10s %10s\n", "bytes", "put-AM", "put-vec", "get-AM", "get-vec")
+	for _, p := range points {
+		s += fmt.Sprintf("%-10d %10.1f %10.1f %10.1f %10.1f\n", p.Bytes, p.PutAM, p.PutVector, p.GetAM, p.GetVector)
+	}
+	return s
+}
+
+// FormatChunkAblation renders the chunk-size sweep.
+func FormatChunkAblation(points []ChunkAblationPoint) string {
+	s := "Ablation: AM pipelining chunk size, 32 KB 2-D put [MB/s] (§5.3.1 uses ≈900 B)\n"
+	s += fmt.Sprintf("%-12s %10s\n", "chunk[B]", "put")
+	for _, p := range points {
+		s += fmt.Sprintf("%-12d %10.1f\n", p.ChunkBytes, p.PutMBs)
+	}
+	return s
+}
+
+// FormatSwitchAblation renders the threshold sweep.
+func FormatSwitchAblation(points []SwitchAblationPoint) string {
+	s := "Ablation: direct-protocol switch threshold, 512 KB 2-D get [MB/s] (§5.4 uses ≈0.5 MB)\n"
+	s += fmt.Sprintf("%-12s %10s\n", "threshold", "get")
+	for _, p := range points {
+		s += fmt.Sprintf("%-12d %10.1f\n", p.ThresholdBytes, p.GetMBs)
+	}
+	return s
+}

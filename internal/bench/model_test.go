@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"golapi/internal/lapi"
+	"golapi/internal/switchnet"
+)
+
+// TestOneWayLatencyMatchesAnalyticModel pins the cost model to its
+// equation: for a 4-byte polling-mode put, the one-way latency is exactly
+//
+//	OpOverhead + internal copy + SendOverhead            (origin CPU)
+//	+ wire(52 B) + WireLatency                            (fabric)
+//	+ RecvOverhead                                        (target CPU)
+//
+// If any charge moves or double-counts, this fails with the exact delta —
+// far more diagnostic than the banded shape tests.
+func TestOneWayLatencyMatchesAnalyticModel(t *testing.T) {
+	lcfg := lapi.DefaultConfig()
+	scfg := switchnet.DefaultConfig()
+	measured, _, err := lapiLatency(lapi.Polling)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const payload = 4
+	wireBytes := lcfg.HeaderBytes + payload
+	wire := time.Duration(float64(wireBytes) / scfg.Bandwidth * float64(time.Second))
+	copyCost := time.Duration(float64(payload) / lcfg.MemcpyBandwidth * float64(time.Second))
+	analytic := lcfg.OpOverhead + copyCost + lcfg.SendOverhead + wire + scfg.WireLatency + lcfg.RecvOverhead
+
+	diff := measured - analytic
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 200*time.Nanosecond {
+		t.Fatalf("one-way latency %v, analytic model %v (delta %v)", measured, analytic, measured-analytic)
+	}
+}
+
+// TestPipelineLatencyMatchesAnalyticModel does the same for the §4
+// pipeline latencies.
+func TestPipelineLatencyMatchesAnalyticModel(t *testing.T) {
+	lcfg := lapi.DefaultConfig()
+	p, err := MeasurePipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copyCost := time.Duration(4.0 / lcfg.MemcpyBandwidth * float64(time.Second))
+	wantPut := lcfg.OpOverhead + copyCost + lcfg.SendOverhead
+	if d := p.Put - wantPut; d < -time.Microsecond || d > time.Microsecond {
+		t.Errorf("Put pipeline %v vs analytic %v", p.Put, wantPut)
+	}
+	wantGet := lcfg.OpOverhead + lcfg.GetExtra + lcfg.SendOverhead
+	if d := p.Get - wantGet; d < -time.Microsecond || d > time.Microsecond {
+		t.Errorf("Get pipeline %v vs analytic %v", p.Get, wantGet)
+	}
+}
+
+// TestBandwidthMatchesAnalyticAsymptote: at 2 MB the LAPI put bandwidth
+// must equal payload-per-packet over per-packet wire time within 2% (link-
+// limited steady state).
+func TestBandwidthMatchesAnalyticAsymptote(t *testing.T) {
+	lcfg := lapi.DefaultConfig()
+	scfg := switchnet.DefaultConfig()
+	bw, err := lapiBandwidth(2 << 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := float64(scfg.PacketBytes - lcfg.HeaderBytes)
+	perPacket := float64(scfg.PacketBytes) / scfg.Bandwidth
+	analytic := payload / perPacket / 1e6
+	if bw < analytic*0.97 || bw > analytic*1.01 {
+		t.Fatalf("asymptotic bandwidth %.1f MB/s, analytic %.1f MB/s", bw, analytic)
+	}
+}

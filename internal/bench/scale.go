@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"golapi/internal/cluster"
+	"golapi/internal/exec"
+	"golapi/internal/lapi"
+)
+
+// Scalability experiments. The paper's microbenchmarks use 2-4 nodes but
+// the system it describes ran on a 512-node SP; these sweeps check that
+// the simulated stack behaves sanely as the job grows: synchronization
+// cost rises slowly, per-pair latency stays flat, and aggregate bandwidth
+// scales with the node count (each node has its own link).
+
+// ScalePoint captures the metrics at one job size.
+type ScalePoint struct {
+	Tasks int
+	// Gfence is the time for one global fence with no outstanding work.
+	Gfence time.Duration
+	// NeighborLatency is the 4-byte one-way put latency between ranks 0
+	// and 1 while the rest of the job is idle (should be flat in N).
+	NeighborLatency time.Duration
+	// AggregateMBs is total bandwidth when every task streams 256 KB to
+	// its ring successor simultaneously (should scale ~linearly).
+	AggregateMBs float64
+}
+
+// MeasureScale sweeps job sizes.
+func MeasureScale(sizes []int) ([]ScalePoint, error) {
+	points := make([]ScalePoint, len(sizes))
+	for i, n := range sizes {
+		p, err := measureScaleAt(n)
+		if err != nil {
+			return nil, err
+		}
+		points[i] = p
+	}
+	return points, nil
+}
+
+func measureScaleAt(n int) (ScalePoint, error) {
+	pt := ScalePoint{Tasks: n}
+	c, err := cluster.NewSimDefault(n)
+	if err != nil {
+		return pt, err
+	}
+	const streamBytes = 256 * 1024
+	var fenceTotal, latTotal time.Duration
+	var streamElapsed time.Duration
+	const reps = 8
+
+	err = c.Run(func(ctx exec.Context, t *lapi.Task) {
+		buf := t.Alloc(streamBytes)
+		ping := t.NewCounter()
+		addrs, _ := t.AddressInit(ctx, buf)
+
+		// Phase 1: empty Gfence cost.
+		t.Barrier(ctx)
+		start := ctx.Now()
+		for i := 0; i < reps; i++ {
+			t.Gfence(ctx)
+		}
+		if t.Self() == 0 {
+			fenceTotal = ctx.Now() - start
+		}
+
+		// Phase 2: pairwise latency with the job idle.
+		t.Barrier(ctx)
+		if t.Self() == 0 {
+			start = ctx.Now()
+			for i := 0; i < reps; i++ {
+				t.PutSync(ctx, 1, addrs[1], []byte{1, 2, 3, 4}, lapi.NoCounter)
+			}
+			latTotal = ctx.Now() - start
+		}
+
+		// Phase 3: simultaneous ring streams.
+		t.Barrier(ctx)
+		start = ctx.Now()
+		succ := (t.Self() + 1) % t.N()
+		cmpl := t.NewCounter()
+		if err := t.Put(ctx, succ, addrs[succ], make([]byte, streamBytes), lapi.NoCounter, nil, cmpl); err != nil {
+			panic(err)
+		}
+		t.Waitcntr(ctx, cmpl, 1)
+		t.Barrier(ctx)
+		if t.Self() == 0 {
+			streamElapsed = ctx.Now() - start
+		}
+		_ = ping
+	})
+	if err != nil {
+		return pt, err
+	}
+	pt.Gfence = fenceTotal / reps
+	pt.NeighborLatency = latTotal / reps / 2 // PutSync is a full round trip
+	pt.AggregateMBs = float64(n) * streamBytes / streamElapsed.Seconds() / 1e6
+	return pt, nil
+}
+
+// FormatScale renders the sweep.
+func FormatScale(points []ScalePoint) string {
+	s := "Scalability sweep (beyond the paper's 4-node benches)\n"
+	s += fmt.Sprintf("%-8s %12s %14s %16s\n", "tasks", "gfence[µs]", "pair lat[µs]", "aggregate MB/s")
+	for _, p := range points {
+		s += fmt.Sprintf("%-8d %12.1f %14.1f %16.1f\n",
+			p.Tasks, us(p.Gfence), us(p.NeighborLatency), p.AggregateMBs)
+	}
+	return s
+}
+
+func us(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// CSVScale renders the scalability sweep as CSV.
+func CSVScale(points []ScalePoint) string {
+	s := "tasks,gfence_us,pair_latency_us,aggregate_mbs\n"
+	for _, p := range points {
+		s += fmt.Sprintf("%d,%.2f,%.2f,%.2f\n", p.Tasks, us(p.Gfence), us(p.NeighborLatency), p.AggregateMBs)
+	}
+	return s
+}

@@ -1,0 +1,183 @@
+// Package cluster assembles simulated jobs: an engine, a switch, and one
+// communication task per rank, with an SPMD-style entry point. It is the
+// shared scaffolding for tests, benchmarks and examples, for all three
+// libraries (LAPI, MPI, MPL).
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"golapi/internal/exec"
+	"golapi/internal/fabric"
+	"golapi/internal/lapi"
+	"golapi/internal/mpi"
+	"golapi/internal/mpl"
+	"golapi/internal/sim"
+	"golapi/internal/switchnet"
+	"golapi/internal/tcpnet"
+)
+
+// Job is a simulated cluster of communication tasks of type T.
+type Job[T interface{ Close() error }] struct {
+	Eng    *sim.Engine
+	Switch *switchnet.Switch
+	Tasks  []T
+	rt     *exec.SimRuntime
+}
+
+// Sim is a LAPI job (the common case).
+type Sim = Job[*lapi.Task]
+
+// NewJob builds an n-task simulated cluster whose tasks are produced by mk.
+func NewJob[T interface{ Close() error }](n int, scfg switchnet.Config, mk func(exec.Runtime, fabric.Transport) (T, error)) (*Job[T], error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one task, got %d", n)
+	}
+	eng := sim.NewEngine()
+	sw, err := switchnet.New(eng, n, scfg)
+	if err != nil {
+		return nil, err
+	}
+	rt := exec.NewSimRuntime(eng)
+	j := &Job[T]{Eng: eng, Switch: sw, rt: rt}
+	j.Tasks = make([]T, n)
+	for i := 0; i < n; i++ {
+		t, err := mk(rt, sw.Endpoint(i))
+		if err != nil {
+			return nil, err
+		}
+		j.Tasks[i] = t
+	}
+	return j, nil
+}
+
+// NewSim builds an n-task simulated LAPI cluster.
+func NewSim(n int, scfg switchnet.Config, lcfg lapi.Config) (*Sim, error) {
+	return NewJob(n, scfg, func(rt exec.Runtime, tr fabric.Transport) (*lapi.Task, error) {
+		return lapi.NewTask(rt, tr, lcfg)
+	})
+}
+
+// NewSimDefault builds an n-task LAPI cluster with the calibrated default
+// configuration (DESIGN.md §5).
+func NewSimDefault(n int) (*Sim, error) {
+	return NewSim(n, switchnet.DefaultConfig(), lapi.DefaultConfig())
+}
+
+// NewSimMPI builds an n-task simulated MPI cluster.
+func NewSimMPI(n int, scfg switchnet.Config, mcfg mpi.Config) (*Job[*mpi.Task], error) {
+	return NewJob(n, scfg, func(rt exec.Runtime, tr fabric.Transport) (*mpi.Task, error) {
+		return mpi.NewTask(rt, tr, mcfg)
+	})
+}
+
+// NewSimMPL builds an n-task simulated MPL cluster.
+func NewSimMPL(n int, scfg switchnet.Config, mcfg mpi.Config) (*Job[*mpl.Task], error) {
+	return NewJob(n, scfg, func(rt exec.Runtime, tr fabric.Transport) (*mpl.Task, error) {
+		return mpl.NewTask(rt, tr, mcfg)
+	})
+}
+
+// Runtime returns the shared simulation runtime.
+func (j *Job[T]) Runtime() exec.Runtime { return j.rt }
+
+// Now returns the current virtual time of the cluster.
+func (j *Job[T]) Now() sim.Time { return j.Eng.Now() }
+
+// Run executes main once per task, SPMD style, and drives the simulation to
+// completion. Tasks are closed after every main has returned; as on a real
+// machine, a main that exits while peers still need its services must
+// synchronize first (e.g. Gfence or Barrier). Run returns the engine's
+// verdict — in particular a *sim.DeadlockError if the job hangs (e.g.
+// polling mode without polls, §2.1 of the paper).
+func (j *Job[T]) Run(main func(ctx exec.Context, t T)) error {
+	remaining := len(j.Tasks)
+	for i, t := range j.Tasks {
+		i, t := i, t
+		j.rt.Go(fmt.Sprintf("main-%d", i), func(ctx exec.Context) {
+			main(ctx, t)
+			remaining--
+			if remaining == 0 {
+				for _, u := range j.Tasks {
+					u.Close()
+				}
+			}
+		})
+	}
+	return j.Eng.Run()
+}
+
+// TCPJob is a cluster of LAPI tasks over real TCP on this machine: one
+// RealRuntime (serialization domain) per task, endpoints meshed over
+// loopback. Cost models are zeroed — real time is spent instead.
+type TCPJob struct {
+	Tasks []*lapi.Task
+	rts   []*exec.RealRuntime
+	eps   []*tcpnet.Endpoint
+}
+
+// NewTCPLAPI builds an n-task LAPI job over local TCP.
+func NewTCPLAPI(n int, cfg lapi.Config) (*TCPJob, error) {
+	addrs, err := tcpnet.LocalAddrs(n)
+	if err != nil {
+		return nil, err
+	}
+	j := &TCPJob{
+		Tasks: make([]*lapi.Task, n),
+		rts:   make([]*exec.RealRuntime, n),
+		eps:   make([]*tcpnet.Endpoint, n),
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		i := i
+		j.rts[i] = exec.NewRealRuntime()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep, err := tcpnet.Dial(j.rts[i], i, n, addrs, 0)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			j.eps[i] = ep
+			t, err := lapi.NewTask(j.rts[i], ep, cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			j.Tasks[i] = t
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// Run executes main once per task, SPMD style, each on its own runtime,
+// and shuts the job down when every main has returned.
+func (j *TCPJob) Run(main func(ctx exec.Context, t *lapi.Task)) error {
+	var wg sync.WaitGroup
+	for i, t := range j.Tasks {
+		i, t := i, t
+		wg.Add(1)
+		j.rts[i].Go(fmt.Sprintf("main-%d", i), func(ctx exec.Context) {
+			defer wg.Done()
+			main(ctx, t)
+		})
+	}
+	wg.Wait()
+	for i, t := range j.Tasks {
+		rt, task := j.rts[i], t
+		rt.Post(func() { task.Close() })
+	}
+	for _, ep := range j.eps {
+		ep.Drain()
+	}
+	return nil
+}

@@ -1,0 +1,120 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"golapi/internal/cluster"
+	"golapi/internal/exec"
+	"golapi/internal/lapi"
+	"golapi/internal/mpi"
+	"golapi/internal/sim"
+	"golapi/internal/switchnet"
+)
+
+func TestNewSimValidation(t *testing.T) {
+	if _, err := cluster.NewSimDefault(0); err == nil {
+		t.Error("zero-task cluster accepted")
+	}
+	if _, err := cluster.NewSim(2, switchnet.Config{}, lapi.DefaultConfig()); err == nil {
+		t.Error("invalid switch config accepted")
+	}
+	bad := lapi.DefaultConfig()
+	bad.HeaderBytes = 4096
+	if _, err := cluster.NewSim(2, switchnet.DefaultConfig(), bad); err == nil {
+		t.Error("invalid lapi config accepted")
+	}
+}
+
+func TestRunWaitsForAllMains(t *testing.T) {
+	c, err := cluster.NewSimDefault(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finished := 0
+	if err := c.Run(func(ctx exec.Context, lt *lapi.Task) {
+		ctx.Sleep(time.Duration(lt.Self()+1) * time.Millisecond)
+		finished++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if finished != 3 {
+		t.Fatalf("finished = %d", finished)
+	}
+	if c.Now() < sim.Time(3*time.Millisecond) {
+		t.Fatalf("engine stopped at %v, before the slowest main", c.Now())
+	}
+}
+
+func TestRunReportsDeadlock(t *testing.T) {
+	c, err := cluster.NewSimDefault(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Run(func(ctx exec.Context, lt *lapi.Task) {
+		if lt.Self() == 0 {
+			// Wait for a counter nobody will ever bump.
+			lt.Waitcntr(ctx, lt.NewCounter(), 1)
+		}
+	})
+	if _, ok := err.(*sim.DeadlockError); !ok {
+		t.Fatalf("err = %v, want DeadlockError", err)
+	}
+}
+
+func TestMPIJobIndependence(t *testing.T) {
+	// Two clusters must not share state: run them interleaved.
+	a, err := cluster.NewSimMPI(2, switchnet.DefaultConfig(), mpi.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cluster.NewSimMPI(2, switchnet.DefaultConfig(), mpi.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := func(ctx exec.Context, mt *mpi.Task) {
+		if mt.Self() == 0 {
+			mt.Send(ctx, 1, 1, []byte("x"))
+		} else {
+			mt.Recv(ctx, 0, 1, make([]byte, 1))
+		}
+	}
+	if err := a.Run(main); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Run(main); err != nil {
+		t.Fatal(err)
+	}
+	if a.Now() != b.Now() {
+		t.Fatalf("identical jobs took different virtual time: %v vs %v (shared state?)", a.Now(), b.Now())
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	// The cornerstone of the simulator: identical programs produce
+	// identical virtual timelines.
+	runOnce := func() sim.Time {
+		c, err := cluster.NewSimDefault(4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(func(ctx exec.Context, lt *lapi.Task) {
+			buf := lt.Alloc(1 << 16)
+			addrs, _ := lt.AddressInit(ctx, buf)
+			cmpl := lt.NewCounter()
+			for i := 0; i < 10; i++ {
+				tgt := (lt.Self() + 1 + i) % lt.N()
+				lt.Put(ctx, tgt, addrs[tgt], make([]byte, 3000), lapi.NoCounter, nil, cmpl)
+			}
+			lt.Waitcntr(ctx, cmpl, 10)
+			lt.Gfence(ctx)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return c.Now()
+	}
+	t1, t2, t3 := runOnce(), runOnce(), runOnce()
+	if t1 != t2 || t2 != t3 {
+		t.Fatalf("nondeterministic timelines: %v, %v, %v", t1, t2, t3)
+	}
+}

@@ -1,0 +1,89 @@
+package exec
+
+import (
+	"sync"
+	"time"
+)
+
+// RealRuntime implements Runtime over wall-clock time and real goroutines.
+// A single mutex serializes every activity belonging to the runtime, giving
+// protocol code the same single-threaded view it has under the simulator.
+// One RealRuntime backs one task (each task is its own serialization
+// domain), unlike the simulator where one engine backs the whole cluster.
+type RealRuntime struct {
+	mu    sync.Mutex
+	start time.Time
+	wg    sync.WaitGroup
+}
+
+// NewRealRuntime returns a runtime whose clock starts now.
+func NewRealRuntime() *RealRuntime {
+	return &RealRuntime{start: time.Now()}
+}
+
+// Now implements Runtime.
+func (r *RealRuntime) Now() time.Duration { return time.Since(r.start) }
+
+// NewCond implements Runtime.
+func (r *RealRuntime) NewCond() Cond {
+	return &realCond{c: sync.NewCond(&r.mu)}
+}
+
+// After implements Runtime. fn runs with the runtime lock held.
+func (r *RealRuntime) After(d time.Duration, fn func()) {
+	r.wg.Add(1)
+	time.AfterFunc(d, func() {
+		defer r.wg.Done()
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		fn()
+	})
+}
+
+// Post runs fn serialized as soon as possible; safe to call from goroutines
+// outside the runtime (e.g. a transport read loop).
+func (r *RealRuntime) Post(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn()
+}
+
+// Go implements Runtime.
+func (r *RealRuntime) Go(name string, fn func(Context)) {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		fn(&realContext{rt: r})
+	}()
+}
+
+// Drain blocks until all activities spawned so far have finished. Intended
+// for orderly shutdown in tools and examples.
+func (r *RealRuntime) Drain() { r.wg.Wait() }
+
+type realCond struct {
+	c *sync.Cond
+}
+
+func (c *realCond) Broadcast() { c.c.Broadcast() }
+
+type realContext struct {
+	rt *RealRuntime
+}
+
+func (c *realContext) Now() time.Duration { return c.rt.Now() }
+
+func (c *realContext) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	// Release the serialization lock while sleeping so other activities
+	// make progress, mirroring how a simulated process parks.
+	c.rt.mu.Unlock()
+	time.Sleep(d)
+	c.rt.mu.Lock()
+}
+
+func (c *realContext) Wait(cond Cond) { cond.(*realCond).c.Wait() }

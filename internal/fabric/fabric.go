@@ -1,0 +1,70 @@
+// Package fabric defines the transport abstraction the communication
+// libraries (LAPI, MPI) are written against, plus small helpers for packet
+// framing. Implementations: the simulated SP switch (internal/switchnet)
+// and a real TCP transport (internal/tcpnet).
+package fabric
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"golapi/internal/exec"
+)
+
+// Transport is one task's endpoint on the interconnect.
+//
+// Delivery is reliable but NOT necessarily ordered: packets between the same
+// pair of tasks may arrive out of order (the SP switch property the paper's
+// protocols are built around). Protocols needing FIFO (MPI) must resequence.
+type Transport interface {
+	// Self returns this endpoint's task id in [0, N).
+	Self() int
+	// N returns the number of tasks on the fabric.
+	N() int
+	// MaxPacket returns the largest packet, in bytes, Send accepts.
+	// Protocol layers carve their headers out of this budget.
+	MaxPacket() int
+	// Send queues one packet for dst. The transport takes ownership of
+	// data. ctx is the caller's execution context and may be nil when
+	// the caller accounts for injection cost itself (transports must not
+	// rely on it). The sent callback, if non-nil, fires —
+	// serialized on the endpoint's runtime — once the packet has fully
+	// left this endpoint (the origin-buffer drain point LAPI's origin
+	// counter keys off for zero-copy sends). Send never blocks for
+	// delivery.
+	Send(ctx exec.Context, dst int, data []byte, sent func())
+	// SetDeliver installs the upcall invoked, serialized on the
+	// endpoint's runtime, for each arriving packet. Must be set before
+	// the first packet can arrive.
+	SetDeliver(fn func(src int, data []byte))
+	// Close releases transport resources.
+	Close() error
+}
+
+// PutUint32 appends v to b in big-endian order and returns the new slice.
+func PutUint32(b []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(b, v)
+}
+
+// PutUint64 appends v to b in big-endian order and returns the new slice.
+func PutUint64(b []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(b, v)
+}
+
+// Uint32 reads a big-endian uint32 at off.
+func Uint32(b []byte, off int) uint32 {
+	return binary.BigEndian.Uint32(b[off : off+4])
+}
+
+// Uint64 reads a big-endian uint64 at off.
+func Uint64(b []byte, off int) uint64 {
+	return binary.BigEndian.Uint64(b[off : off+8])
+}
+
+// CheckRank panics with a descriptive message if rank is outside [0, n).
+// Transports use it to validate destinations early, where the bug is.
+func CheckRank(rank, n int) {
+	if rank < 0 || rank >= n {
+		panic(fmt.Sprintf("fabric: rank %d out of range [0,%d)", rank, n))
+	}
+}

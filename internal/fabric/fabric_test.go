@@ -1,0 +1,33 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestUintHelpersRoundTrip(t *testing.T) {
+	prop := func(a uint32, b uint64) bool {
+		buf := PutUint32(nil, a)
+		buf = PutUint64(buf, b)
+		return Uint32(buf, 0) == a && Uint64(buf, 4) == b
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckRank(t *testing.T) {
+	CheckRank(0, 4)
+	CheckRank(3, 4)
+	for _, bad := range []int{-1, 4, 100} {
+		bad := bad
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("CheckRank(%d, 4) did not panic", bad)
+				}
+			}()
+			CheckRank(bad, 4)
+		}()
+	}
+}

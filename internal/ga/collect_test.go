@@ -1,0 +1,182 @@
+package ga_test
+
+import (
+	"math"
+	"testing"
+
+	"golapi/internal/exec"
+	"golapi/internal/ga"
+)
+
+func TestFillZeroScale(t *testing.T) {
+	forBothBackends(t, 4, func(ctx exec.Context, w *ga.World) {
+		a, _ := w.Create(ctx, 25, 25)
+		if err := a.Fill(ctx, 3.5); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := a.Scale(ctx, 2); err != nil {
+			t.Error(err)
+			return
+		}
+		if w.Self() == 1 {
+			p := ga.Patch{RLo: 0, RHi: 24, CLo: 0, CHi: 24}
+			got := make([]float64, p.Elems())
+			a.Get(ctx, p, got, p.Cols())
+			for k, v := range got {
+				if v != 7 {
+					t.Errorf("element %d = %g after Fill+Scale", k, v)
+					return
+				}
+			}
+		}
+		w.Sync(ctx)
+		if err := a.Zero(ctx); err != nil {
+			t.Error(err)
+			return
+		}
+		if w.Self() == 2 {
+			if v := a.At(a.Distribution(2).RLo, a.Distribution(2).CLo); v != 0 {
+				t.Errorf("Zero left %g", v)
+			}
+		}
+		w.Sync(ctx)
+	})
+}
+
+func TestCopyFrom(t *testing.T) {
+	forBothBackends(t, 4, func(ctx exec.Context, w *ga.World) {
+		a, _ := w.Create(ctx, 16, 16)
+		b, _ := w.Create(ctx, 16, 16)
+		d := a.Distribution(w.Self())
+		for i := d.RLo; i <= d.RHi; i++ {
+			for j := d.CLo; j <= d.CHi; j++ {
+				a.SetLocal(i, j, float64(i*100+j))
+			}
+		}
+		w.Sync(ctx)
+		if err := b.CopyFrom(ctx, a); err != nil {
+			t.Error(err)
+			return
+		}
+		if w.Self() == 3 {
+			p := ga.Patch{RLo: 0, RHi: 15, CLo: 0, CHi: 15}
+			got := make([]float64, p.Elems())
+			b.Get(ctx, p, got, 16)
+			for i := 0; i < 16; i++ {
+				for j := 0; j < 16; j++ {
+					if got[i*16+j] != float64(i*100+j) {
+						t.Errorf("copy (%d,%d) = %g", i, j, got[i*16+j])
+						return
+					}
+				}
+			}
+		}
+		w.Sync(ctx)
+		// Shape mismatch must be rejected.
+		c, _ := w.Create(ctx, 8, 8)
+		if err := c.CopyFrom(ctx, a); err == nil {
+			t.Error("shape-mismatched copy accepted")
+		}
+		// CopyFrom with an error return doesn't sync; realign manually.
+		w.Sync(ctx)
+	})
+}
+
+func TestDotProduct(t *testing.T) {
+	forBothBackends(t, 4, func(ctx exec.Context, w *ga.World) {
+		a, _ := w.Create(ctx, 12, 12)
+		b, _ := w.Create(ctx, 12, 12)
+		a.Fill(ctx, 2)
+		b.Fill(ctx, 3)
+		got, err := a.Dot(ctx, b)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		want := 2.0 * 3.0 * 144
+		if got != want {
+			t.Errorf("rank %d: dot = %g, want %g", w.Self(), got, want)
+		}
+		w.Sync(ctx)
+	})
+}
+
+func TestReduceSumAndMax(t *testing.T) {
+	forBothBackends(t, 4, func(ctx exec.Context, w *ga.World) {
+		x := float64(w.Self() + 1) // 1..4
+		sum, err := w.ReduceSum(ctx, x)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if sum != 10 {
+			t.Errorf("rank %d: sum = %g, want 10", w.Self(), sum)
+		}
+		m, err := w.ReduceMax(ctx, -x)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if m != -1 {
+			t.Errorf("rank %d: max = %g, want -1", w.Self(), m)
+		}
+		// Repeated reductions must not interfere (staging row reuse).
+		for i := 0; i < 3; i++ {
+			s, _ := w.ReduceSum(ctx, 1)
+			if s != 4 {
+				t.Errorf("iteration %d: sum = %g", i, s)
+			}
+		}
+		w.Sync(ctx)
+	})
+}
+
+func TestDotOrthogonal(t *testing.T) {
+	// A numerically interesting case: dot of sin/cos-patterned arrays.
+	forBothBackends(t, 4, func(ctx exec.Context, w *ga.World) {
+		a, _ := w.Create(ctx, 10, 10)
+		b, _ := w.Create(ctx, 10, 10)
+		d := a.Distribution(w.Self())
+		for i := d.RLo; i <= d.RHi; i++ {
+			for j := d.CLo; j <= d.CHi; j++ {
+				a.SetLocal(i, j, math.Sin(float64(i*10+j)))
+				b.SetLocal(i, j, math.Cos(float64(i*10+j)))
+			}
+		}
+		w.Sync(ctx)
+		got, err := a.Dot(ctx, b)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		want := 0.0
+		for k := 0; k < 100; k++ {
+			want += math.Sin(float64(k)) * math.Cos(float64(k))
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("dot = %g, want %g", got, want)
+		}
+		w.Sync(ctx)
+	})
+}
+
+func TestDuplicate(t *testing.T) {
+	forBothBackends(t, 4, func(ctx exec.Context, w *ga.World) {
+		a, _ := w.Create(ctx, 10, 10)
+		a.Fill(ctx, 6.25)
+		dup, err := a.Duplicate(ctx)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Mutating the duplicate must not touch the original.
+		dup.Scale(ctx, 2)
+		d1, _ := a.Dot(ctx, a)
+		d2, _ := dup.Dot(ctx, dup)
+		if d1 != 6.25*6.25*100 || d2 != 4*d1 {
+			t.Errorf("dots = %g, %g", d1, d2)
+		}
+		w.Sync(ctx)
+	})
+}

@@ -1,0 +1,175 @@
+package ga_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"golapi/internal/cluster"
+	"golapi/internal/exec"
+	"golapi/internal/ga"
+	"golapi/internal/lapi"
+	"golapi/internal/mpi"
+	"golapi/internal/mpl"
+	"golapi/internal/switchnet"
+)
+
+// TestPropGAMatchesReferenceModel drives a random sequence of puts and
+// accumulates from rank 0 against both GA backends AND a plain in-memory
+// reference array, then compares the final contents element-by-element.
+// This is the strongest correctness statement we can make about the
+// protocol stacks: whatever the hybrid protocols do internally, the
+// observable array must behave like ordinary memory under a single writer.
+func TestPropGAMatchesReferenceModel(t *testing.T) {
+	type op struct {
+		acc   bool
+		patch ga.Patch
+		seed  int64
+		alpha float64
+	}
+	const dim = 36
+
+	genOps := func(seed int64) []op {
+		rng := rand.New(rand.NewSource(seed))
+		ops := make([]op, 12)
+		for i := range ops {
+			r0, c0 := rng.Intn(dim), rng.Intn(dim)
+			r1, c1 := r0+rng.Intn(dim-r0), c0+rng.Intn(dim-c0)
+			ops[i] = op{
+				acc:   rng.Intn(2) == 1,
+				patch: ga.Patch{RLo: r0, RHi: r1, CLo: c0, CHi: c1},
+				seed:  rng.Int63(),
+				alpha: float64(rng.Intn(5)) - 2,
+			}
+		}
+		return ops
+	}
+
+	reference := func(ops []op) []float64 {
+		ref := make([]float64, dim*dim)
+		for _, o := range ops {
+			rng := rand.New(rand.NewSource(o.seed))
+			for i := o.patch.RLo; i <= o.patch.RHi; i++ {
+				for j := o.patch.CLo; j <= o.patch.CHi; j++ {
+					v := float64(rng.Intn(1000))
+					if o.acc {
+						ref[i*dim+j] += o.alpha * v
+					} else {
+						ref[i*dim+j] = v
+					}
+				}
+			}
+		}
+		return ref
+	}
+
+	applyGA := func(ctx exec.Context, w *ga.World, ops []op) []float64 {
+		a, err := w.Create(ctx, dim, dim)
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		if w.Self() == 0 {
+			for _, o := range ops {
+				rng := rand.New(rand.NewSource(o.seed))
+				buf := make([]float64, o.patch.Elems())
+				for k := range buf {
+					buf[k] = float64(rng.Intn(1000))
+				}
+				var err error
+				if o.acc {
+					err = a.Acc(ctx, o.patch, buf, o.patch.Cols(), o.alpha)
+				} else {
+					// Order matters for overlapping puts from one
+					// writer: fence between them.
+					err = a.Put(ctx, o.patch, buf, o.patch.Cols())
+					if err == nil {
+						w.Fence(ctx)
+					}
+				}
+				if err != nil {
+					t.Error(err)
+					return nil
+				}
+			}
+		}
+		w.Sync(ctx)
+		var out []float64
+		if w.Self() == 1 {
+			full := ga.Patch{RLo: 0, RHi: dim - 1, CLo: 0, CHi: dim - 1}
+			out = make([]float64, full.Elems())
+			if err := a.Get(ctx, full, out, dim); err != nil {
+				t.Error(err)
+			}
+		}
+		w.Sync(ctx)
+		return out
+	}
+
+	check := func(seed int64) bool {
+		ops := genOps(seed)
+		want := reference(ops)
+
+		for _, backend := range []string{"LAPI", "LAPI-vec", "MPL"} {
+			var got []float64
+			switch backend {
+			case "LAPI", "LAPI-vec":
+				c, err := cluster.NewSimDefault(4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg := ga.DefaultConfig()
+				cfg.UseVectorOps = backend == "LAPI-vec"
+				err = c.Run(func(ctx exec.Context, lt *lapi.Task) {
+					w, err := ga.NewLAPIWorld(ctx, lt, cfg)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if o := applyGA(ctx, w, ops); o != nil {
+						got = o
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			case "MPL":
+				mcfg := mpi.DefaultConfig()
+				mcfg.EagerLimit = mcfg.MaxEagerLimit
+				c, err := cluster.NewSimMPL(4, switchnet.DefaultConfig(), mcfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				err = c.Run(func(ctx exec.Context, mt *mpl.Task) {
+					w, err := ga.NewMPLWorld(ctx, mt, ga.DefaultConfig())
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if o := applyGA(ctx, w, ops); o != nil {
+						got = o
+					}
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			if len(got) != len(want) {
+				t.Errorf("seed %d backend %s: no result", seed, backend)
+				return false
+			}
+			for k := range want {
+				if got[k] != want[k] {
+					t.Errorf("seed %d backend %s: element (%d,%d) = %g, want %g",
+						seed, backend, k/dim, k%dim, got[k], want[k])
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	if err := quick.Check(func(seed int64) bool { return check(seed) }, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+package ga_test
+
+import (
+	"testing"
+
+	"golapi/internal/cluster"
+	"golapi/internal/exec"
+	"golapi/internal/ga"
+	"golapi/internal/lapi"
+	"golapi/internal/mpi"
+	"golapi/internal/mpl"
+	"golapi/internal/switchnet"
+)
+
+// lossyConfig injects drops and reordering at the fabric.
+func lossyConfig() switchnet.Config {
+	scfg := switchnet.DefaultConfig()
+	scfg.DropEvery = 9
+	scfg.ReorderEvery = 4
+	scfg.ReorderDelayPackets = 3
+	return scfg
+}
+
+// TestGACorrectUnderPacketLossAndReorder: the full GA stack on a hostile
+// fabric — retransmission, out-of-order reassembly and in-order matching
+// must compose into exactly-once application-level semantics.
+func TestGACorrectUnderPacketLossAndReorder(t *testing.T) {
+	runLossy := map[string]func(t *testing.T, main func(ctx exec.Context, w *ga.World)){
+		"LAPI": func(t *testing.T, main func(ctx exec.Context, w *ga.World)) {
+			c, err := cluster.NewSim(4, lossyConfig(), lapi.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Run(func(ctx exec.Context, lt *lapi.Task) {
+				w, err := ga.NewLAPIWorld(ctx, lt, ga.DefaultConfig())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				main(ctx, w)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		},
+		"MPL": func(t *testing.T, main func(ctx exec.Context, w *ga.World)) {
+			mcfg := mpi.DefaultConfig()
+			mcfg.EagerLimit = mcfg.MaxEagerLimit
+			c, err := cluster.NewSimMPL(4, lossyConfig(), mcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Run(func(ctx exec.Context, mt *mpl.Task) {
+				w, err := ga.NewMPLWorld(ctx, mt, ga.DefaultConfig())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				main(ctx, w)
+			}); err != nil {
+				t.Fatal(err)
+			}
+		},
+	}
+	for name, run := range runLossy {
+		name, run := name, run
+		t.Run(name, func(t *testing.T) {
+			run(t, func(ctx exec.Context, w *ga.World) {
+				a, _ := w.Create(ctx, 50, 50)
+				p := ga.Patch{RLo: 0, RHi: 49, CLo: 0, CHi: 49}
+				ones := make([]float64, p.Elems())
+				for k := range ones {
+					ones[k] = 1
+				}
+				// Concurrent accumulates from everyone, twice.
+				a.Acc(ctx, p, ones, p.Cols(), 1)
+				a.Acc(ctx, p, ones, p.Cols(), 2)
+				w.Sync(ctx)
+				if w.Self() == 2 {
+					got := make([]float64, p.Elems())
+					a.Get(ctx, p, got, p.Cols())
+					want := 3 * float64(w.N())
+					for k := range got {
+						if got[k] != want {
+							t.Errorf("element %d = %g, want %g (loss broke exactly-once)", k, got[k], want)
+							return
+						}
+					}
+				}
+				w.Sync(ctx)
+			})
+		})
+	}
+}
+
+// TestGAContentionManyOutstanding reproduces §5.3.1's flow-control concern:
+// "the rate of data arrival can be higher than the rate at which the data
+// is consumed ... The model does not impose a limit on the number of
+// outstanding store operations". Every rank floods rank 0's block with
+// many outstanding accumulates before any fence.
+func TestGAContentionManyOutstanding(t *testing.T) {
+	forBothBackends(t, 4, func(ctx exec.Context, w *ga.World) {
+		a, _ := w.Create(ctx, 8, 8) // entirely hosted by the 2x2 grid's corner blocks
+		target := ga.Patch{RLo: 0, RHi: 3, CLo: 0, CHi: 3}
+		ones := make([]float64, target.Elems())
+		for k := range ones {
+			ones[k] = 1
+		}
+		const flood = 50
+		for i := 0; i < flood; i++ {
+			if err := a.Acc(ctx, target, ones, target.Cols(), 1); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		w.Sync(ctx)
+		if w.Self() == 0 {
+			got := make([]float64, target.Elems())
+			a.Get(ctx, target, got, target.Cols())
+			want := float64(flood * w.N())
+			for k := range got {
+				if got[k] != want {
+					t.Errorf("element %d = %g, want %g", k, got[k], want)
+					return
+				}
+			}
+		}
+		w.Sync(ctx)
+	})
+}
+
+// TestGAOverTCP runs the LAPI-backed GA stack over real sockets (zero cost
+// models): a put/get/acc/readinc workout with actual goroutine concurrency.
+func TestGAOverTCP(t *testing.T) {
+	j, err := cluster.NewTCPLAPI(3, lapi.ZeroCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcfg := ga.Config{
+		// Real time: no modelled costs, generous thresholds.
+		AMChunkBytes:      8192,
+		DirectSwitchBytes: 512 * 1024,
+		MaxRequestBytes:   1 << 20,
+	}
+	err = j.Run(func(ctx exec.Context, lt *lapi.Task) {
+		w, err := ga.NewLAPIWorld(ctx, lt, gcfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		a, err := w.Create(ctx, 30, 30)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		cnt, err := w.CreateCounter(ctx)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+
+		// Dynamic work distribution over real TCP.
+		total := 0
+		for {
+			tk, err := cnt.ReadInc(ctx, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if tk >= 9 {
+				break
+			}
+			bi, bj := int(tk)/3, int(tk)%3
+			p := ga.Patch{RLo: bi * 10, RHi: bi*10 + 9, CLo: bj * 10, CHi: bj*10 + 9}
+			buf := make([]float64, p.Elems())
+			for k := range buf {
+				buf[k] = float64(tk)
+			}
+			if err := a.Put(ctx, p, buf, p.Cols()); err != nil {
+				t.Error(err)
+				return
+			}
+			total++
+		}
+		w.Sync(ctx)
+		if w.Self() == 0 {
+			full := ga.Patch{RLo: 0, RHi: 29, CLo: 0, CHi: 29}
+			got := make([]float64, full.Elems())
+			if err := a.Get(ctx, full, got, full.Cols()); err != nil {
+				t.Error(err)
+			}
+			for i := 0; i < 30; i++ {
+				for jj := 0; jj < 30; jj++ {
+					want := float64((i/10)*3 + jj/10)
+					if got[i*30+jj] != want {
+						t.Errorf("(%d,%d) = %g, want %g", i, jj, got[i*30+jj], want)
+						return
+					}
+				}
+			}
+		}
+		w.Sync(ctx)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

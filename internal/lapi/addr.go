@@ -1,0 +1,140 @@
+package lapi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Addr names a location in a task's registered memory. It plays the role of
+// the raw virtual addresses LAPI operations take on the SP: the origin of a
+// Put/Get/Rmw names target memory by Addr, typically learned through
+// AddressInit (the analogue of LAPI_Address_init).
+//
+// An Addr encodes (block, offset): every Alloc returns a fresh block, and
+// Addr arithmetic (a + k) is valid only within a block, exactly like pointer
+// arithmetic within a single allocation.
+type Addr uint64
+
+// AddrNil is the zero Addr; no allocation ever has it.
+const AddrNil Addr = 0
+
+const addrOffsetBits = 40
+
+func makeAddr(block int, offset int) Addr {
+	return Addr(uint64(block+1)<<addrOffsetBits | uint64(offset))
+}
+
+func (a Addr) block() int  { return int(uint64(a)>>addrOffsetBits) - 1 }
+func (a Addr) offset() int { return int(uint64(a) & (1<<addrOffsetBits - 1)) }
+func (a Addr) String() string {
+	if a == AddrNil {
+		return "nil"
+	}
+	return fmt.Sprintf("mem[%d]+%d", a.block(), a.offset())
+}
+
+// arena is a task's registered memory: a list of independently allocated
+// blocks addressed by Addr.
+type arena struct {
+	blocks [][]byte
+}
+
+// alloc reserves a new block of n bytes and returns its base address.
+func (m *arena) alloc(n int) Addr {
+	if n < 0 {
+		panic(fmt.Sprintf("lapi: Alloc(%d)", n))
+	}
+	m.blocks = append(m.blocks, make([]byte, n))
+	return makeAddr(len(m.blocks)-1, 0)
+}
+
+// free releases the block containing a (a must be its base address).
+// Subsequent access through any Addr in the block fails. User libraries
+// with high message rates (like GA's AM buffers, §5.3.1) must free their
+// transient blocks or the arena grows without bound.
+func (m *arena) free(a Addr) error {
+	b := a.block()
+	if b < 0 || b >= len(m.blocks) || m.blocks[b] == nil {
+		return fmt.Errorf("lapi: Free(%v): no such block", a)
+	}
+	if a.offset() != 0 {
+		return fmt.Errorf("lapi: Free(%v): not a block base", a)
+	}
+	m.blocks[b] = nil
+	return nil
+}
+
+// bytes returns the n-byte slice at a, validating bounds.
+func (m *arena) bytes(a Addr, n int) ([]byte, error) {
+	if a == AddrNil {
+		return nil, fmt.Errorf("lapi: nil address")
+	}
+	b, off := a.block(), a.offset()
+	if b < 0 || b >= len(m.blocks) {
+		return nil, fmt.Errorf("lapi: address %v: no such block", a)
+	}
+	blk := m.blocks[b]
+	if blk == nil {
+		return nil, fmt.Errorf("lapi: address %v: block freed", a)
+	}
+	if off < 0 || n < 0 || off+n > len(blk) {
+		return nil, fmt.Errorf("lapi: address %v + %d bytes exceeds block of %d bytes", a, n, len(blk))
+	}
+	return blk[off : off+n], nil
+}
+
+// mustBytes is bytes for internal paths where the address was already
+// validated at operation start.
+func (m *arena) mustBytes(a Addr, n int) []byte {
+	s, err := m.bytes(a, n)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Alloc reserves n bytes of task memory and returns its address. The block
+// is addressable on this task and, after address exchange, targetable by
+// remote Put/Get/Rmw.
+func (t *Task) Alloc(n int) Addr { return t.mem.alloc(n) }
+
+// Free releases a block previously returned by Alloc.
+func (t *Task) Free(a Addr) error { return t.mem.free(a) }
+
+// Bytes returns a mutable view of n bytes of task memory at a.
+func (t *Task) Bytes(a Addr, n int) ([]byte, error) { return t.mem.bytes(a, n) }
+
+// MustBytes is Bytes but panics on an invalid address; for use where the
+// address is known good (e.g. memory this task just allocated).
+func (t *Task) MustBytes(a Addr, n int) []byte { return t.mem.mustBytes(a, n) }
+
+// ReadInt64 loads the 8-byte big-endian integer at a.
+func (t *Task) ReadInt64(a Addr) (int64, error) {
+	b, err := t.mem.bytes(a, 8)
+	if err != nil {
+		return 0, err
+	}
+	return int64(binary.BigEndian.Uint64(b)), nil
+}
+
+// WriteInt64 stores v as 8 big-endian bytes at a.
+func (t *Task) WriteInt64(a Addr, v int64) error {
+	b, err := t.mem.bytes(a, 8)
+	if err != nil {
+		return err
+	}
+	binary.BigEndian.PutUint64(b, uint64(v))
+	return nil
+}
+
+// ReadFloat64 loads the float64 stored at a.
+func (t *Task) ReadFloat64(a Addr) (float64, error) {
+	v, err := t.ReadInt64(a)
+	return math.Float64frombits(uint64(v)), err
+}
+
+// WriteFloat64 stores v at a.
+func (t *Task) WriteFloat64(a Addr, v float64) error {
+	return t.WriteInt64(a, int64(math.Float64bits(v)))
+}

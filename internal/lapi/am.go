@@ -1,0 +1,268 @@
+package lapi
+
+import (
+	"fmt"
+
+	"golapi/internal/exec"
+	"golapi/internal/stats"
+	"golapi/internal/trace"
+)
+
+// HandlerID names a registered header handler. Like remote addresses and
+// counters, handler IDs are exchanged by SPMD convention: registering
+// handlers in the same order on every task yields equal IDs for
+// corresponding handlers (the analogue of the function addresses LAPI
+// programs pass in hdr_hdl).
+type HandlerID uint16
+
+// AmInfo describes an arriving active message to its header handler.
+type AmInfo struct {
+	// Src is the origin task.
+	Src int
+	// UHdr is the user header sent with the message. Valid only for the
+	// duration of the header handler call; copy it if needed later.
+	UHdr []byte
+	// DataLen is the total udata length that will be delivered.
+	DataLen int
+}
+
+// CompletionHandler runs at the target after an active message's data has
+// been fully received (§2.1 step 4). Multiple completion handlers may be
+// in flight concurrently; the user synchronizes between them. Completion
+// handlers may issue LAPI calls.
+type CompletionHandler func(ctx exec.Context, t *Task)
+
+// HeaderHandler runs when the first packet of an active message arrives
+// (§2.1 step 2). It returns the buffer where the message's udata must be
+// placed and an optional completion handler. It must be fast, must not
+// block, and — when the message carries data — must not return AddrNil:
+// LAPI copies arriving packets straight into the returned buffer.
+//
+// Only one header handler executes at a time per task (§2.1): the
+// dispatcher calls it inline.
+type HeaderHandler func(t *Task, info *AmInfo) (buf Addr, done CompletionHandler)
+
+// RegisterHandler registers a header handler and returns its ID.
+// Registration must happen before messages using the ID can arrive;
+// register handlers in the same order on every task.
+func (t *Task) RegisterHandler(h HeaderHandler) HandlerID {
+	if h == nil {
+		panic("lapi: RegisterHandler(nil)")
+	}
+	t.handlers = append(t.handlers, h)
+	return HandlerID(len(t.handlers)) // IDs start at 1
+}
+
+func (t *Task) handlerByID(id HandlerID) HeaderHandler {
+	i := int(id) - 1
+	if i < 0 || i >= len(t.handlers) {
+		panic(fmt.Sprintf("lapi: task %d: unknown handler id %d", t.Self(), id))
+	}
+	return t.handlers[i]
+}
+
+// Amsend sends an active message (LAPI_Amsend): uhdr and udata are
+// delivered to the target, where the handler identified by hdl decides
+// buffer placement and post-processing. Non-blocking; counters as in Put,
+// with cmpl firing only after the target's completion handler finishes.
+//
+// uhdr must fit in one packet alongside the LAPI header (QueryMaxUhdr).
+func (t *Task) Amsend(ctx exec.Context, tgt int, hdl HandlerID, uhdr, udata []byte, tgtCntr RemoteCounter, org, cmpl *Counter) error {
+	t.poll(ctx)
+	if err := t.checkTarget(tgt); err != nil {
+		return err
+	}
+	if len(uhdr) > t.maxPayload() {
+		return fmt.Errorf("lapi: Amsend: uhdr of %d bytes exceeds max %d", len(uhdr), t.maxPayload())
+	}
+	if hdl == 0 {
+		return fmt.Errorf("lapi: Amsend: zero handler id")
+	}
+	if t.cfg.OpOverhead > 0 {
+		ctx.Sleep(t.cfg.OpOverhead)
+	}
+
+	t.msgSeq++
+	id := t.msgSeq
+	t.tracef(trace.KindOp, "amsend hdl=%d uhdr=%dB data=%dB -> %d (msg %d)", hdl, len(uhdr), len(udata), tgt, id)
+	om := &outMsg{kind: ptAmHdr, dst: tgt, orgCntr: org, cmplCntr: cmpl, wantCmpl: cmpl != nil}
+	t.outMsgs[id] = om
+	t.outstanding++
+
+	p := t.maxPayload()
+	total := len(udata)
+
+	// The whole message (uhdr + udata) is copied into internal buffers
+	// when small, as in sendChunked.
+	internal := total+len(uhdr) <= t.cfg.InternalBufferLimit
+	if internal {
+		if c := t.cfg.copyCost(total + len(uhdr)); c > 0 {
+			ctx.Sleep(c)
+		}
+		t.Counters.Add(stats.CopiesBytes, int64(total+len(uhdr)))
+	}
+
+	var aux uint64 = uint64(len(uhdr))
+	if om.wantCmpl {
+		aux |= auxWantCmpl
+	}
+
+	// First packet: uhdr plus as much udata as fits.
+	firstData := p - len(uhdr)
+	if firstData > total {
+		firstData = total
+	}
+	if t.cfg.SendOverhead > 0 {
+		ctx.Sleep(t.cfg.SendOverhead)
+	}
+
+	// Count packets for the zero-copy origin-counter callback.
+	npkts := 1
+	for off := firstData; off < total; off += p {
+		npkts++
+	}
+	remaining := npkts
+	var onWire func()
+	if !internal && om.orgCntr != nil {
+		onWire = func() {
+			remaining--
+			if remaining == 0 {
+				om.orgCntr.incr()
+			}
+		}
+	}
+
+	hh := &header{
+		typ:      ptAmHdr,
+		handler:  uint16(hdl),
+		msgID:    id,
+		totalLen: uint32(total),
+		cntrA:    uint32(tgtCntr),
+		aux:      aux,
+	}
+	first := make([]byte, len(uhdr)+firstData)
+	copy(first, uhdr)
+	copy(first[len(uhdr):], udata[:firstData])
+	t.tr.Send(ctx, tgt, t.buildPacket(hh, first), onWire)
+
+	for off := firstData; off < total; off += p {
+		end := off + p
+		if end > total {
+			end = total
+		}
+		if t.cfg.SendOverhead > 0 {
+			ctx.Sleep(t.cfg.SendOverhead)
+		}
+		dh := &header{
+			typ:      ptAmData,
+			msgID:    id,
+			offset:   uint32(off),
+			totalLen: uint32(total),
+		}
+		t.tr.Send(ctx, tgt, t.buildPacket(dh, udata[off:end]), onWire)
+	}
+
+	if internal && om.orgCntr != nil {
+		om.orgCntr.incr()
+	}
+	return nil
+}
+
+// handleAm processes an arriving active-message packet. Packets of one
+// message can arrive in any order; data packets that beat the header packet
+// are stashed until the header handler has supplied the user buffer (§2.1).
+func (t *Task) handleAm(src int, h header, payload []byte) {
+	key := inKey{src: src, msgID: h.msgID}
+	im := t.inMsgs[key]
+	if im == nil {
+		im = &inMsg{kind: ptAmHdr, total: int(h.totalLen)}
+		t.inMsgs[key] = im
+	}
+
+	switch h.typ {
+	case ptAmHdr:
+		uhdrLen := int(h.aux &^ auxWantCmpl)
+		im.wantCmpl = h.aux&auxWantCmpl != 0
+		im.tgtCntr = t.counterByID(RemoteCounter(h.cntrA))
+		uhdr := payload[:uhdrLen]
+		data := payload[uhdrLen:]
+
+		info := &AmInfo{Src: src, UHdr: uhdr, DataLen: im.total}
+		handler := t.handlerByID(HandlerID(h.handler))
+		t.Counters.Add(stats.HeaderHandlers, 1)
+		t.tracef(trace.KindHandler, "header handler %d (msg %d from %d)", h.handler, h.msgID, src)
+		t.inHeaderHandler = true
+		bufAddr, done := handler(t, info)
+		t.inHeaderHandler = false
+		im.complete = done
+		im.hdrSeen = true
+
+		if im.total > 0 {
+			if bufAddr == AddrNil {
+				panic(fmt.Sprintf("lapi: task %d: header handler returned nil buffer for %d-byte message", t.Self(), im.total))
+			}
+			buf, err := t.mem.bytes(bufAddr, im.total)
+			if err != nil {
+				panic(fmt.Sprintf("lapi: task %d: header handler buffer: %v", t.Self(), err))
+			}
+			im.buf = buf
+			copy(buf, data)
+			im.recvd += len(data)
+			// Drain any data packets that arrived before the header.
+			for _, s := range im.stash {
+				copy(buf[s.offset:], s.data)
+				im.recvd += len(s.data)
+			}
+			im.stash = nil
+		}
+
+	case ptAmData:
+		if !im.hdrSeen {
+			// Header packet still in flight: stash a copy (the
+			// payload aliases the wire packet).
+			cp := make([]byte, len(payload))
+			copy(cp, payload)
+			im.stash = append(im.stash, stashed{offset: int(h.offset), data: cp})
+			return
+		}
+		copy(im.buf[h.offset:], payload)
+		im.recvd += len(payload)
+	}
+
+	if im.hdrSeen && im.recvd >= im.total {
+		delete(t.inMsgs, key)
+		t.amComplete(src, h.msgID, im)
+	}
+}
+
+// amComplete runs after all of an active message's data has landed in the
+// user buffer: acknowledge the data transfer, then run the completion
+// handler in its own activity (completion handlers may run concurrently,
+// §2.1) and only afterwards fire the target counter and completion ack
+// (§2.1 step 4).
+func (t *Task) amComplete(src int, msgID uint32, im *inMsg) {
+	t.sendAckPacket(src, ptDataAck, msgID)
+	if im.complete == nil {
+		im.tgtCntr.incr()
+		if im.wantCmpl {
+			t.sendAckPacket(src, ptCmplAck, msgID)
+		}
+		return
+	}
+	t.Counters.Add(stats.ComplHandlers, 1)
+	t.rt.Go(fmt.Sprintf("lapi-compl-%d", t.Self()), func(ctx exec.Context) {
+		// Respect the completion-thread limit (§6): wait for a slot.
+		for t.cfg.CompletionThreads > 0 && t.complRunning >= t.cfg.CompletionThreads {
+			ctx.Wait(t.complCond)
+		}
+		t.complRunning++
+		t.tracef(trace.KindHandler, "completion handler (msg %d from %d)", msgID, src)
+		im.complete(ctx, t)
+		t.complRunning--
+		t.complCond.Broadcast()
+		im.tgtCntr.incr()
+		if im.wantCmpl {
+			t.sendAckPacket(src, ptCmplAck, msgID)
+		}
+	})
+}

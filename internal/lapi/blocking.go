@@ -1,0 +1,72 @@
+package lapi
+
+import "golapi/internal/exec"
+
+// Blocking convenience wrappers. The paper (§3): "Although the LAPI
+// communication calls are non-blocking, the blocking version is a simple
+// extension by immediately waiting on the appropriate counter after
+// issuing the non-blocking call." These helpers do exactly that with an
+// internal counter pool; semantics and costs are identical to issuing the
+// call and waiting yourself.
+
+// blockingCntr borrows a zeroed counter for one blocking call.
+func (t *Task) blockingCntr() *Counter {
+	if n := len(t.blockPool); n > 0 {
+		c := t.blockPool[n-1]
+		t.blockPool = t.blockPool[:n-1]
+		return c
+	}
+	return t.NewCounter()
+}
+
+func (t *Task) releaseCntr(c *Counter) {
+	t.blockPool = append(t.blockPool, c)
+}
+
+// PutSync is Put followed by a wait for target completion: when it
+// returns, the data is in place at the target.
+func (t *Task) PutSync(ctx exec.Context, tgt int, tgtAddr Addr, data []byte, tgtCntr RemoteCounter) error {
+	c := t.blockingCntr()
+	defer t.releaseCntr(c)
+	if err := t.Put(ctx, tgt, tgtAddr, data, tgtCntr, nil, c); err != nil {
+		return err
+	}
+	t.Waitcntr(ctx, c, 1)
+	return nil
+}
+
+// GetSync is Get followed by a wait for the data to arrive.
+func (t *Task) GetSync(ctx exec.Context, tgt int, tgtAddr Addr, buf []byte, tgtCntr RemoteCounter) error {
+	c := t.blockingCntr()
+	defer t.releaseCntr(c)
+	if err := t.Get(ctx, tgt, tgtAddr, buf, tgtCntr, c); err != nil {
+		return err
+	}
+	t.Waitcntr(ctx, c, 1)
+	return nil
+}
+
+// RmwSync performs the atomic operation and returns the previous value
+// once it is available.
+func (t *Task) RmwSync(ctx exec.Context, op RmwOp, tgt int, tgtVar Addr, inVal, comparand int64) (int64, error) {
+	c := t.blockingCntr()
+	defer t.releaseCntr(c)
+	var prev int64
+	if err := t.Rmw(ctx, op, tgt, tgtVar, inVal, comparand, &prev, c); err != nil {
+		return 0, err
+	}
+	t.Waitcntr(ctx, c, 1)
+	return prev, nil
+}
+
+// AmsendSync is Amsend followed by a wait for the target's completion
+// handler to finish.
+func (t *Task) AmsendSync(ctx exec.Context, tgt int, hdl HandlerID, uhdr, udata []byte, tgtCntr RemoteCounter) error {
+	c := t.blockingCntr()
+	defer t.releaseCntr(c)
+	if err := t.Amsend(ctx, tgt, hdl, uhdr, udata, tgtCntr, nil, c); err != nil {
+		return err
+	}
+	t.Waitcntr(ctx, c, 1)
+	return nil
+}

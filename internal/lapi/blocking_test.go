@@ -1,0 +1,156 @@
+package lapi_test
+
+import (
+	"testing"
+	"time"
+
+	"golapi/internal/exec"
+	"golapi/internal/lapi"
+	"golapi/internal/switchnet"
+)
+
+func TestBlockingWrappers(t *testing.T) {
+	run(t, 2, func(ctx exec.Context, lt *lapi.Task) {
+		buf := lt.Alloc(64)
+		addrs, _ := lt.AddressInit(ctx, buf)
+		h := lt.RegisterHandler(func(tk *lapi.Task, info *lapi.AmInfo) (lapi.Addr, lapi.CompletionHandler) {
+			b := tk.Alloc(info.DataLen)
+			return b, func(cctx exec.Context, tk2 *lapi.Task) {
+				// Append a marker into the task window so the origin
+				// can verify the handler really ran before AmsendSync
+				// returned.
+				tk2.WriteInt64(buf+8, 7)
+			}
+		})
+		if lt.Self() == 0 {
+			// PutSync: data present at target on return.
+			if err := lt.PutSync(ctx, 1, addrs[1], []byte("sync-put"), lapi.NoCounter); err != nil {
+				t.Error(err)
+			}
+			back := make([]byte, 8)
+			if err := lt.GetSync(ctx, 1, addrs[1], back, lapi.NoCounter); err != nil {
+				t.Error(err)
+			}
+			if string(back) != "sync-put" {
+				t.Errorf("GetSync after PutSync: %q", back)
+			}
+
+			// AmsendSync: completion handler done on return.
+			if err := lt.AmsendSync(ctx, 1, h, nil, []byte("am"), lapi.NoCounter); err != nil {
+				t.Error(err)
+			}
+			marker := make([]byte, 8)
+			lt.GetSync(ctx, 1, addrs[1]+8, marker, lapi.NoCounter)
+			if marker[7] != 7 {
+				t.Error("AmsendSync returned before the completion handler ran")
+			}
+
+			// RmwSync returns previous values in order.
+			p1, err := lt.RmwSync(ctx, lapi.RmwFetchAndAdd, 1, addrs[1]+16, 5, 0)
+			if err != nil {
+				t.Error(err)
+			}
+			p2, _ := lt.RmwSync(ctx, lapi.RmwFetchAndAdd, 1, addrs[1]+16, 5, 0)
+			if p1 != 0 || p2 != 5 {
+				t.Errorf("RmwSync prevs = %d, %d", p1, p2)
+			}
+		}
+		lt.Gfence(ctx)
+	})
+}
+
+func TestBlockingWrapperErrors(t *testing.T) {
+	run(t, 2, func(ctx exec.Context, lt *lapi.Task) {
+		defer lt.Barrier(ctx)
+		if lt.Self() != 0 {
+			return
+		}
+		if err := lt.PutSync(ctx, 9, lapi.AddrNil, []byte("x"), lapi.NoCounter); err == nil {
+			t.Error("PutSync to bad rank succeeded")
+		}
+		if err := lt.GetSync(ctx, 1, lapi.AddrNil, make([]byte, 4), lapi.NoCounter); err == nil {
+			t.Error("GetSync from nil address succeeded")
+		}
+		if _, err := lt.RmwSync(ctx, lapi.RmwOp(0), 1, lapi.AddrNil, 0, 0); err == nil {
+			t.Error("RmwSync with bad op succeeded")
+		}
+	})
+}
+
+// TestScale64Tasks exercises the stack at a scale closer to the paper's
+// 512-node system: 64 tasks do a shifted all-to-all of small puts plus a
+// ring of atomics, then verify under Gfence.
+func TestScale64Tasks(t *testing.T) {
+	const n = 64
+	run(t, n, func(ctx exec.Context, lt *lapi.Task) {
+		slots := lt.Alloc(8 * n)
+		addrs, _ := lt.AddressInit(ctx, slots)
+		cmpl := lt.NewCounter()
+		me := lt.Self()
+		for k := 1; k <= 4; k++ { // four shifted neighbours each
+			tgt := (me + k*7) % n
+			v := []byte{0, 0, 0, 0, 0, 0, byte(me >> 8), byte(me)}
+			if err := lt.Put(ctx, tgt, addrs[tgt]+lapi.Addr(8*me), v, lapi.NoCounter, nil, cmpl); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		lt.Waitcntr(ctx, cmpl, 4)
+		lt.Gfence(ctx)
+		// Verify everything that should have been written to us.
+		for src := 0; src < n; src++ {
+			expects := false
+			for k := 1; k <= 4; k++ {
+				if (src+k*7)%n == me {
+					expects = true
+				}
+			}
+			v, _ := lt.ReadInt64(slots + lapi.Addr(8*src))
+			if expects && v != int64(src) {
+				t.Errorf("task %d: slot %d = %d, want %d", me, src, v, src)
+			}
+			if !expects && v != 0 {
+				t.Errorf("task %d: unexpected write in slot %d", me, src)
+			}
+		}
+		lt.Gfence(ctx)
+	})
+}
+
+func TestCompletionThreadLimitSerializes(t *testing.T) {
+	// §6: with a single completion thread (the uniprocessor reality),
+	// long-running completion handlers serialize; with the SMP extension
+	// (unlimited) they overlap. Compare total times for 4 slow handlers.
+	elapsed := func(threads int) time.Duration {
+		lcfg := lapi.DefaultConfig()
+		lcfg.CompletionThreads = threads
+		var took time.Duration
+		runCfg(t, 2, switchnet.DefaultConfig(), lcfg, func(ctx exec.Context, lt *lapi.Task) {
+			h := lt.RegisterHandler(func(tk *lapi.Task, info *lapi.AmInfo) (lapi.Addr, lapi.CompletionHandler) {
+				buf := tk.Alloc(info.DataLen)
+				return buf, func(cctx exec.Context, tk2 *lapi.Task) {
+					cctx.Sleep(300 * time.Microsecond) // long post-processing
+				}
+			})
+			if lt.Self() == 0 {
+				cmpl := lt.NewCounter()
+				start := ctx.Now()
+				for i := 0; i < 4; i++ {
+					lt.Amsend(ctx, 1, h, nil, []byte{byte(i)}, lapi.NoCounter, nil, cmpl)
+				}
+				lt.Waitcntr(ctx, cmpl, 4)
+				took = ctx.Now() - start
+			}
+			lt.Gfence(ctx)
+		})
+		return took
+	}
+	serial := elapsed(1)
+	smp := elapsed(0)
+	if serial < 4*300*time.Microsecond {
+		t.Fatalf("1 completion thread finished 4x300µs handlers in %v: not serialized", serial)
+	}
+	if smp >= serial/2 {
+		t.Fatalf("unlimited completion threads (%v) should be far faster than one thread (%v)", smp, serial)
+	}
+}

@@ -1,0 +1,57 @@
+package lapi
+
+import (
+	"testing"
+)
+
+// FuzzDecodeHeader: the header decoder must never panic on arbitrary bytes
+// and must be the exact inverse of encode on well-formed input.
+func FuzzDecodeHeader(f *testing.F) {
+	f.Add(make([]byte, headerSize))
+	f.Add([]byte{ptPutData, 0, 0, 1})
+	good := header{typ: ptAmHdr, handler: 7, msgID: 42, offset: 9, totalLen: 100, addr: 1 << 40, addr2: 3, cntrA: 2, aux: 99}
+	buf := make([]byte, headerSize)
+	good.encode(buf)
+	f.Add(buf)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := decodeHeader(data)
+		if err != nil {
+			if len(data) >= headerSize {
+				t.Fatalf("decode rejected %d bytes: %v", len(data), err)
+			}
+			return
+		}
+		// Re-encode and re-decode: must be a fixed point.
+		out := make([]byte, headerSize)
+		h.encode(out)
+		h2, err := decodeHeader(out)
+		if err != nil || h2 != h {
+			t.Fatalf("decode/encode not a fixed point: %+v vs %+v (%v)", h, h2, err)
+		}
+	})
+}
+
+// FuzzStrideGeometry: arbitrary stride parameters must never make
+// stridedLoc write outside the vector span.
+func FuzzStrideGeometry(f *testing.F) {
+	f.Add(4, 8, 16, 3)
+	f.Add(1, 1, 1, 0)
+	f.Fuzz(func(t *testing.T, blocks, blockB, stride, lin int) {
+		s := Stride{Blocks: blocks, BlockBytes: blockB, StrideBytes: stride}
+		if s.validate() != nil {
+			return
+		}
+		if s.Blocks <= 0 || s.BlockBytes <= 0 {
+			return
+		}
+		total := s.Total()
+		if total <= 0 || lin < 0 || lin >= total {
+			return
+		}
+		loc := s.stridedLoc(lin)
+		if loc < 0 || loc >= s.Span() {
+			t.Fatalf("stride %+v maps linear %d to %d outside span %d", s, lin, loc, s.Span())
+		}
+	})
+}

@@ -1,0 +1,403 @@
+package lapi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"golapi/internal/exec"
+	"golapi/internal/stats"
+	"golapi/internal/trace"
+)
+
+// flag bits in the wire header's aux field for data-carrying operations.
+const (
+	auxWantCmpl uint64 = 1 << 63 // origin asked for a completion ack
+)
+
+// Put copies data into target memory at tgtAddr (LAPI_Put). It is
+// non-blocking and unilateral: the call returns once the message is queued,
+// and the target takes no action for it to complete (§2.2).
+//
+// Completion signalling (§2.3), all optional:
+//   - org fires when the origin buffer (data) is reusable;
+//   - tgtCntr names a counter at the target, incremented when the data has
+//     landed there;
+//   - cmpl fires at the origin when the data has landed at the target.
+func (t *Task) Put(ctx exec.Context, tgt int, tgtAddr Addr, data []byte, tgtCntr RemoteCounter, org, cmpl *Counter) error {
+	t.poll(ctx)
+	if err := t.checkTarget(tgt); err != nil {
+		return err
+	}
+	if tgtAddr == AddrNil && len(data) > 0 {
+		return fmt.Errorf("lapi: Put: nil target address")
+	}
+	if t.cfg.OpOverhead > 0 {
+		ctx.Sleep(t.cfg.OpOverhead)
+	}
+
+	t.msgSeq++
+	id := t.msgSeq
+	t.tracef(trace.KindOp, "put %dB -> %d (msg %d)", len(data), tgt, id)
+	om := &outMsg{kind: ptPutData, dst: tgt, orgCntr: org, cmplCntr: cmpl}
+	t.outMsgs[id] = om
+	t.outstanding++
+
+	t.sendChunked(ctx, tgt, data, om, func(offset int, chunk []byte) *header {
+		return &header{
+			typ:      ptPutData,
+			msgID:    id,
+			offset:   uint32(offset),
+			totalLen: uint32(len(data)),
+			addr:     uint64(tgtAddr),
+			cntrA:    uint32(tgtCntr),
+		}
+	})
+	return nil
+}
+
+// Get pulls n bytes from target memory at tgtAddr into buf (LAPI_Get).
+// Non-blocking: buf must stay valid until org fires, which happens when all
+// data has arrived at the origin. tgtCntr, if non-zero, names a counter at
+// the target incremented once the data has been copied out of the target's
+// memory (§2.3).
+func (t *Task) Get(ctx exec.Context, tgt int, tgtAddr Addr, buf []byte, tgtCntr RemoteCounter, org *Counter) error {
+	t.poll(ctx)
+	if err := t.checkTarget(tgt); err != nil {
+		return err
+	}
+	if tgtAddr == AddrNil && len(buf) > 0 {
+		return fmt.Errorf("lapi: Get: nil target address")
+	}
+	if t.cfg.OpOverhead > 0 {
+		ctx.Sleep(t.cfg.OpOverhead + t.cfg.GetExtra)
+	}
+
+	t.msgSeq++
+	id := t.msgSeq
+	t.tracef(trace.KindOp, "get %dB <- %d (msg %d)", len(buf), tgt, id)
+	om := &outMsg{kind: ptGetReq, dst: tgt, orgCntr: org, getBuf: buf}
+	t.outMsgs[id] = om
+	t.outstanding++
+
+	h := &header{
+		typ:      ptGetReq,
+		msgID:    id,
+		totalLen: uint32(len(buf)),
+		addr:     uint64(tgtAddr),
+		cntrA:    uint32(tgtCntr),
+	}
+	t.sendControl(ctx, tgt, h)
+	return nil
+}
+
+// checkTarget validates a destination rank.
+func (t *Task) checkTarget(tgt int) error {
+	if tgt < 0 || tgt >= t.N() {
+		return fmt.Errorf("lapi: target %d out of range [0,%d)", tgt, t.N())
+	}
+	return nil
+}
+
+// sendChunked splits data into packets of maxPayload bytes, charging
+// injection costs, and wires up origin-counter semantics: small messages
+// are copied into internal buffers (origin counter fires immediately,
+// §5.3.1); large ones are zero-copy (origin counter fires when the adapter
+// drains the last packet).
+func (t *Task) sendChunked(ctx exec.Context, tgt int, data []byte, om *outMsg, mkHeader func(offset int, chunk []byte) *header) {
+	p := t.maxPayload()
+	total := len(data)
+
+	internal := total <= t.cfg.InternalBufferLimit
+	if internal {
+		// Model the copy into LAPI's retransmit buffers. The physical
+		// copy happens inside buildPacket either way; only the cost is
+		// conditional.
+		if c := t.cfg.copyCost(total); c > 0 {
+			ctx.Sleep(c)
+		}
+		t.Counters.Add(stats.CopiesBytes, int64(total))
+	}
+
+	// Number of packets: at least one even for empty messages (the header
+	// must reach the target to fire counters and acks).
+	npkts := (total + p - 1) / p
+	if npkts == 0 {
+		npkts = 1
+	}
+
+	remaining := npkts
+	var onWire func()
+	if !internal && om.orgCntr != nil {
+		onWire = func() {
+			remaining--
+			if remaining == 0 {
+				om.orgCntr.incr()
+			}
+		}
+	}
+
+	for i := 0; i < npkts; i++ {
+		off := i * p
+		end := off + p
+		if end > total {
+			end = total
+		}
+		if t.cfg.SendOverhead > 0 {
+			ctx.Sleep(t.cfg.SendOverhead)
+		}
+		h := mkHeader(off, data[off:end])
+		t.tr.Send(ctx, tgt, t.buildPacket(h, data[off:end]), onWire)
+	}
+
+	if internal && om.orgCntr != nil {
+		om.orgCntr.incr()
+	}
+}
+
+// handlePutData lands one Put packet directly in target memory — the
+// zero-copy remote-memory-copy path ("no user handlers are executed or
+// intermediate buffering is required", §5.3).
+func (t *Task) handlePutData(src int, h header, payload []byte) {
+	key := inKey{src: src, msgID: h.msgID}
+	im := t.inMsgs[key]
+	if im == nil {
+		im = &inMsg{
+			kind:    ptPutData,
+			total:   int(h.totalLen),
+			tgtAddr: Addr(h.addr),
+			tgtCntr: t.counterByID(RemoteCounter(h.cntrA)),
+		}
+		t.inMsgs[key] = im
+	}
+	if len(payload) > 0 {
+		dst, err := t.mem.bytes(Addr(h.addr)+Addr(h.offset), len(payload))
+		if err != nil {
+			panic(fmt.Sprintf("lapi: task %d: Put from %d: %v", t.Self(), src, err))
+		}
+		copy(dst, payload)
+		im.recvd += len(payload)
+	}
+	if im.recvd >= im.total {
+		delete(t.inMsgs, key)
+		im.tgtCntr.incr()
+		// Acknowledge data arrival: completes the origin's fence
+		// accounting and its completion counter.
+		t.sendAckPacket(src, ptDataAck, h.msgID)
+	}
+}
+
+// handleGetReq serves a Get at the target: read memory, stream it back.
+// Injection costs are charged to the dispatcher (target CPU), which is part
+// of why Get latency exceeds Put latency.
+func (t *Task) handleGetReq(ctx exec.Context, src int, h header) {
+	n := int(h.totalLen)
+	var data []byte
+	if n > 0 {
+		var err error
+		data, err = t.mem.bytes(Addr(h.addr), n)
+		if err != nil {
+			panic(fmt.Sprintf("lapi: task %d: Get from %d: %v", t.Self(), src, err))
+		}
+	}
+	p := t.maxPayload()
+	npkts := (n + p - 1) / p
+	if npkts == 0 {
+		npkts = 1
+	}
+	for i := 0; i < npkts; i++ {
+		off := i * p
+		end := off + p
+		if end > n {
+			end = n
+		}
+		if t.cfg.SendOverhead > 0 {
+			ctx.Sleep(t.cfg.SendOverhead)
+		}
+		gh := &header{
+			typ:      ptGetData,
+			msgID:    h.msgID,
+			offset:   uint32(off),
+			totalLen: uint32(n),
+		}
+		t.tr.Send(ctx, src, t.buildPacket(gh, data[off:end]), nil)
+	}
+	// Data copied out of target memory: fire the target-side counter.
+	t.counterByID(RemoteCounter(h.cntrA)).incr()
+}
+
+// handleGetData lands returning Get data in the origin buffer.
+func (t *Task) handleGetData(h header, payload []byte) {
+	om := t.outMsgs[h.msgID]
+	if om == nil || om.kind != ptGetReq {
+		panic(fmt.Sprintf("lapi: task %d: GetData for unknown msg %d", t.Self(), h.msgID))
+	}
+	if len(payload) > 0 {
+		copy(om.getBuf[h.offset:int(h.offset)+len(payload)], payload)
+		om.getRecv += len(payload)
+	}
+	if om.getRecv >= int(h.totalLen) {
+		delete(t.outMsgs, h.msgID)
+		om.orgCntr.incr()
+		t.opDone()
+	}
+}
+
+// handleDataAck completes fence accounting (and, for Put, the origin's
+// completion counter) when the target confirms all data arrived.
+func (t *Task) handleDataAck(h header) {
+	om := t.outMsgs[h.msgID]
+	if om == nil {
+		panic(fmt.Sprintf("lapi: task %d: DataAck for unknown msg %d", t.Self(), h.msgID))
+	}
+	om.dataAcked = true
+	switch om.kind {
+	case ptPutData:
+		delete(t.outMsgs, h.msgID)
+		om.cmplCntr.incr()
+	case ptAmHdr:
+		if !om.wantCmpl || om.cmplAcked {
+			delete(t.outMsgs, h.msgID)
+		}
+	default:
+		panic(fmt.Sprintf("lapi: DataAck for op kind %d", om.kind))
+	}
+	t.opDone()
+}
+
+// handleCmplAck fires the Amsend completion counter once the target's
+// completion handler has finished (§2.1 step 4).
+func (t *Task) handleCmplAck(h header) {
+	om := t.outMsgs[h.msgID]
+	if om == nil {
+		panic(fmt.Sprintf("lapi: task %d: CmplAck for unknown msg %d", t.Self(), h.msgID))
+	}
+	om.cmplAcked = true
+	om.cmplCntr.incr()
+	if om.dataAcked {
+		delete(t.outMsgs, h.msgID)
+	}
+}
+
+// sendAckPacket sends a LAPI-level acknowledgement. Acks bypass the
+// injection cost model: on the SP they are piggybacked adapter-level
+// traffic, and charging them would double-count the dispatcher overhead
+// already charged for the packet that triggered them.
+func (t *Task) sendAckPacket(dst int, typ byte, msgID uint32) {
+	h := &header{typ: typ, msgID: msgID}
+	t.tr.Send(nil, dst, t.buildPacket(h, nil), nil)
+}
+
+// RmwOp selects the atomic operation of Rmw (§3: "four atomic primitives").
+type RmwOp int
+
+const (
+	// RmwSwap atomically stores the input value and returns the old one.
+	RmwSwap RmwOp = iota + 1
+	// RmwCompareAndSwap stores the input value only if the current value
+	// equals the comparand; returns the old value.
+	RmwCompareAndSwap
+	// RmwFetchAndAdd atomically adds the input value; returns the old value.
+	RmwFetchAndAdd
+	// RmwFetchAndOr atomically ORs the input value; returns the old value.
+	RmwFetchAndOr
+)
+
+func (op RmwOp) String() string {
+	switch op {
+	case RmwSwap:
+		return "Swap"
+	case RmwCompareAndSwap:
+		return "CompareAndSwap"
+	case RmwFetchAndAdd:
+		return "FetchAndAdd"
+	case RmwFetchAndOr:
+		return "FetchAndOr"
+	default:
+		return fmt.Sprintf("RmwOp(%d)", int(op))
+	}
+}
+
+// Rmw atomically read-modify-writes the 8-byte integer at tgtVar on the
+// target (LAPI_Rmw). prev, if non-nil, receives the pre-operation value;
+// org fires when prev is valid. comparand is used only by CompareAndSwap.
+// Atomicity comes from the target dispatcher executing the operation as a
+// single event.
+func (t *Task) Rmw(ctx exec.Context, op RmwOp, tgt int, tgtVar Addr, inVal, comparand int64, prev *int64, org *Counter) error {
+	t.poll(ctx)
+	if err := t.checkTarget(tgt); err != nil {
+		return err
+	}
+	switch op {
+	case RmwSwap, RmwCompareAndSwap, RmwFetchAndAdd, RmwFetchAndOr:
+	default:
+		return fmt.Errorf("lapi: Rmw: invalid op %d", op)
+	}
+	if tgtVar == AddrNil {
+		return fmt.Errorf("lapi: Rmw: nil target variable")
+	}
+	if t.cfg.OpOverhead > 0 {
+		ctx.Sleep(t.cfg.OpOverhead)
+	}
+
+	t.msgSeq++
+	id := t.msgSeq
+	t.tracef(trace.KindOp, "rmw %v -> %d (msg %d)", op, tgt, id)
+	t.outMsgs[id] = &outMsg{kind: ptRmwReq, dst: tgt, orgCntr: org, rmwPrev: prev}
+	t.outstanding++
+
+	h := &header{
+		typ:     ptRmwReq,
+		msgID:   id,
+		handler: uint16(op),
+		addr:    uint64(tgtVar),
+		addr2:   uint64(inVal),
+		aux:     uint64(comparand),
+	}
+	t.sendControl(ctx, tgt, h)
+	return nil
+}
+
+// handleRmwReq executes the atomic op at the target and replies with the
+// old value.
+func (t *Task) handleRmwReq(ctx exec.Context, src int, h header) {
+	b, err := t.mem.bytes(Addr(h.addr), 8)
+	if err != nil {
+		panic(fmt.Sprintf("lapi: task %d: Rmw from %d: %v", t.Self(), src, err))
+	}
+	old := int64(binary.BigEndian.Uint64(b))
+	in := int64(h.addr2)
+	var next int64
+	switch RmwOp(h.handler) {
+	case RmwSwap:
+		next = in
+	case RmwCompareAndSwap:
+		if old == int64(h.aux) {
+			next = in
+		} else {
+			next = old
+		}
+	case RmwFetchAndAdd:
+		next = old + in
+	case RmwFetchAndOr:
+		next = old | in
+	default:
+		panic(fmt.Sprintf("lapi: task %d: bad Rmw op %d", t.Self(), h.handler))
+	}
+	binary.BigEndian.PutUint64(b, uint64(next))
+	rep := &header{typ: ptRmwRep, msgID: h.msgID, addr2: uint64(old)}
+	t.sendControl(ctx, src, rep)
+}
+
+// handleRmwRep delivers the old value to the origin.
+func (t *Task) handleRmwRep(h header) {
+	om := t.outMsgs[h.msgID]
+	if om == nil || om.kind != ptRmwReq {
+		panic(fmt.Sprintf("lapi: task %d: RmwRep for unknown msg %d", t.Self(), h.msgID))
+	}
+	delete(t.outMsgs, h.msgID)
+	if om.rmwPrev != nil {
+		*om.rmwPrev = int64(h.addr2)
+	}
+	om.orgCntr.incr()
+	t.opDone()
+}

@@ -1,0 +1,316 @@
+package lapi
+
+import (
+	"fmt"
+
+	"golapi/internal/exec"
+	"golapi/internal/fabric"
+	"golapi/internal/stats"
+	"golapi/internal/trace"
+)
+
+// Task is one participant in a LAPI job: the analogue of the process handle
+// returned by LAPI_Init. All LAPI operations are methods on Task.
+//
+// A Task is single-threaded in the exec sense: every method must be called
+// from an activity of the task's runtime (the main program, a completion
+// handler, or the dispatcher), which the runtime serializes.
+type Task struct {
+	rt  exec.Runtime
+	tr  fabric.Transport
+	cfg Config
+
+	mem       arena
+	counters  []*Counter
+	handlers  []HeaderHandler
+	blockPool []*Counter // free-list for the blocking-call wrappers
+
+	// Receive path.
+	rx              []rxPacket
+	rxCond          exec.Cond // arrivals (dispatcher wakeup)
+	progress        exec.Cond // arrivals + counter updates (pollers wakeup)
+	draining        bool      // a drain loop is active; avoids re-entrant drains
+	inHeaderHandler bool      // a user header handler is on the stack
+
+	// Origin-side state for messages this task initiated.
+	msgSeq      uint32
+	outMsgs     map[uint32]*outMsg
+	outstanding int // operations whose data transfer hasn't completed (Fence)
+
+	// Target-side reassembly state.
+	inMsgs map[inKey]*inMsg
+
+	// Completion-handler thread pool accounting (Config.CompletionThreads).
+	complRunning int
+	complCond    exec.Cond
+
+	// Collective state (Gfence barrier, AddressInit exchanges).
+	coll collectives
+
+	closed bool
+
+	// Counters records protocol-level accounting (handlers run,
+	// interrupts taken, internal copies).
+	Counters stats.Counters
+}
+
+type rxPacket struct {
+	src int
+	pkt []byte
+}
+
+// outMsg tracks an operation initiated by this task until all its
+// acknowledgements arrive.
+type outMsg struct {
+	kind     byte // ptPutData, ptAmHdr, ptGetReq, ptRmwReq
+	dst      int
+	orgCntr  *Counter
+	cmplCntr *Counter
+	// Get state: data is copied into getBuf as ptGetData packets arrive.
+	getBuf  []byte
+	getRecv int
+	// Rmw state.
+	rmwPrev *int64
+	// Amsend acknowledgement tracking.
+	wantCmpl  bool
+	dataAcked bool
+	cmplAcked bool
+}
+
+type inKey struct {
+	src   int
+	msgID uint32
+}
+
+// inMsg tracks an arriving multi-packet message at the target.
+type inMsg struct {
+	kind    byte
+	total   int
+	recvd   int
+	tgtCntr *Counter
+	// Put: data lands directly at tgtAddr.
+	tgtAddr Addr
+	// Active message state.
+	hdrSeen  bool
+	buf      []byte // user buffer returned by the header handler
+	stash    []stashed
+	complete CompletionHandler
+	wantCmpl bool
+}
+
+type stashed struct {
+	offset int
+	data   []byte
+}
+
+// NewTask initializes a LAPI task over transport tr (the analogue of
+// LAPI_Init). The transport's deliver callback is claimed by the task.
+func NewTask(rt exec.Runtime, tr fabric.Transport, cfg Config) (*Task, error) {
+	if err := cfg.validate(tr.MaxPacket()); err != nil {
+		return nil, err
+	}
+	t := &Task{
+		rt:      rt,
+		tr:      tr,
+		cfg:     cfg,
+		outMsgs: make(map[uint32]*outMsg),
+		inMsgs:  make(map[inKey]*inMsg),
+	}
+	t.rxCond = rt.NewCond()
+	t.progress = rt.NewCond()
+	t.complCond = rt.NewCond()
+	t.coll.init(t)
+	tr.SetDeliver(t.deliver)
+	rt.Go(fmt.Sprintf("lapi-dispatcher-%d", tr.Self()), t.dispatcherLoop)
+	return t, nil
+}
+
+// Self returns this task's rank.
+func (t *Task) Self() int { return t.tr.Self() }
+
+// Runtime returns the execution runtime the task is bound to, so user
+// libraries (e.g. GA) can create their own conditions and activities on the
+// same serialization domain.
+func (t *Task) Runtime() exec.Runtime { return t.rt }
+
+// N returns the number of tasks in the job.
+func (t *Task) N() int { return t.tr.N() }
+
+// Config returns the task's configuration.
+func (t *Task) Config() Config { return t.cfg }
+
+// maxPayload is the per-packet user payload (QueryMaxPayload).
+func (t *Task) maxPayload() int { return t.tr.MaxPacket() - t.cfg.HeaderBytes }
+
+// Qenv answers environment queries (LAPI_Qenv).
+func (t *Task) Qenv(q Query) int {
+	switch q {
+	case QueryNumTasks:
+		return t.N()
+	case QueryMaxUhdr:
+		return t.maxPayload()
+	case QueryMaxPayload:
+		return t.maxPayload()
+	case QueryMode:
+		return int(t.cfg.Mode)
+	default:
+		panic(fmt.Sprintf("lapi: unknown query %d", q))
+	}
+}
+
+// Senv updates runtime-settable environment state; currently the progress
+// mode (LAPI_Senv). Switching to interrupt mode kicks the dispatcher so any
+// backlog queued while polling is drained.
+func (t *Task) Senv(mode Mode) {
+	t.cfg.Mode = mode
+	if mode == Interrupt {
+		t.rxCond.Broadcast()
+	}
+}
+
+// Close terminates the task (LAPI_Term): the dispatcher exits and the
+// transport endpoint is closed.
+func (t *Task) Close() error {
+	if t.closed {
+		return nil
+	}
+	t.closed = true
+	t.rxCond.Broadcast()
+	t.progress.Broadcast()
+	return t.tr.Close()
+}
+
+// deliver is the transport upcall: runs serialized on the task's runtime.
+func (t *Task) deliver(src int, pkt []byte) {
+	if t.closed {
+		return
+	}
+	t.rx = append(t.rx, rxPacket{src: src, pkt: pkt})
+	t.rxCond.Broadcast()
+	t.progress.Broadcast()
+}
+
+// dispatcherLoop is the interrupt-mode progress engine. It sleeps until
+// packets arrive, charges the interrupt cost for the idle->running
+// transition, and drains the receive queue. In polling mode it stays
+// parked; user calls drive progress via poll.
+func (t *Task) dispatcherLoop(ctx exec.Context) {
+	for {
+		for !t.closed && (t.cfg.Mode == Polling || len(t.rx) == 0 || t.draining) {
+			ctx.Wait(t.rxCond)
+		}
+		if t.closed {
+			return
+		}
+		if t.cfg.InterruptCost > 0 {
+			t.Counters.Add(stats.Interrupts, 1)
+			t.tracef(trace.KindInterrupt, "dispatcher wake, %d queued", len(t.rx))
+			ctx.Sleep(t.cfg.InterruptCost)
+		}
+		t.drain(ctx)
+	}
+}
+
+// poll makes communication progress from a user call (every LAPI function
+// is a polling point, and in polling mode the only ones).
+func (t *Task) poll(ctx exec.Context) {
+	if t.draining {
+		// Re-entrant progress (e.g. a completion handler calling Put
+		// while the dispatcher drains): the outer drain finishes the
+		// queue.
+		return
+	}
+	t.Counters.Add(stats.Polls, 1)
+	t.drain(ctx)
+}
+
+// drain processes all queued packets, charging per-packet receive overhead.
+func (t *Task) drain(ctx exec.Context) {
+	t.draining = true
+	defer func() { t.draining = false }()
+	for len(t.rx) > 0 {
+		rp := t.rx[0]
+		t.rx[0] = rxPacket{}
+		t.rx = t.rx[1:]
+		cost := t.cfg.RecvOverhead
+		if len(rp.pkt) > 0 && (rp.pkt[0] == ptDataAck || rp.pkt[0] == ptCmplAck) {
+			cost = t.cfg.AckOverhead
+		}
+		if cost > 0 {
+			ctx.Sleep(cost)
+		}
+		if t.cfg.Tracer != nil && len(rp.pkt) > 0 {
+			t.tracef(trace.KindPacket, "type=%d from=%d %dB", rp.pkt[0], rp.src, len(rp.pkt))
+		}
+		t.handle(ctx, rp.src, rp.pkt)
+	}
+}
+
+// handle dispatches one received packet.
+func (t *Task) handle(ctx exec.Context, src int, pkt []byte) {
+	h, payload, err := t.splitPacket(pkt)
+	if err != nil {
+		panic(fmt.Sprintf("lapi: task %d: %v", t.Self(), err))
+	}
+	switch h.typ {
+	case ptPutData:
+		t.handlePutData(src, h, payload)
+	case ptGetReq:
+		t.handleGetReq(ctx, src, h)
+	case ptPutvData:
+		t.handlePutvData(src, h, payload)
+	case ptGetvReq:
+		t.handleGetvReq(ctx, src, h)
+	case ptGetData:
+		t.handleGetData(h, payload)
+	case ptAmHdr, ptAmData:
+		t.handleAm(src, h, payload)
+	case ptDataAck:
+		t.handleDataAck(h)
+	case ptCmplAck:
+		t.handleCmplAck(h)
+	case ptRmwReq:
+		t.handleRmwReq(ctx, src, h)
+	case ptRmwRep:
+		t.handleRmwRep(h)
+	case ptBarrierArrive, ptBarrierGo, ptGatherWord, ptTableChunk:
+		t.coll.handle(ctx, src, h, payload)
+	default:
+		panic(fmt.Sprintf("lapi: task %d: unknown packet type %d", t.Self(), h.typ))
+	}
+}
+
+// tracef records an event on the task's tracer, if any.
+func (t *Task) tracef(kind, format string, args ...interface{}) {
+	if t.cfg.Tracer != nil {
+		t.cfg.Tracer.Recordf(t.rt.Now(), t.Self(), kind, format, args...)
+	}
+}
+
+// requireBlockingAllowed panics when a blocking LAPI call is made from a
+// header handler, which the paper forbids ("the header handler cannot
+// block", §5.3.1).
+func (t *Task) requireBlockingAllowed(op string) {
+	if t.inHeaderHandler {
+		panic(fmt.Sprintf("lapi: %s called from a header handler; header handlers must not block", op))
+	}
+}
+
+// sendControl transmits a payload-less control packet, charging injection
+// cost.
+func (t *Task) sendControl(ctx exec.Context, dst int, h *header) {
+	if t.cfg.SendOverhead > 0 {
+		ctx.Sleep(t.cfg.SendOverhead)
+	}
+	t.tr.Send(ctx, dst, t.buildPacket(h, nil), nil)
+}
+
+// opDone is called when an operation initiated by this task has finished
+// its data transfer (fence accounting).
+func (t *Task) opDone() {
+	t.outstanding--
+	if t.outstanding < 0 {
+		panic("lapi: fence accounting underflow")
+	}
+	t.progress.Broadcast()
+}

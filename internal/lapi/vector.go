@@ -1,0 +1,238 @@
+package lapi
+
+import (
+	"fmt"
+
+	"golapi/internal/exec"
+)
+
+// Strided I/O — the paper's first "future work" item (§6): "Providing a
+// non-contiguous interface to LAPI_Put and LAPI_Get to help applications
+// like GA which require non-contiguous data transfer by removing the
+// overhead associated with multiple requests or the copy overhead in the
+// AM-based implementations."
+//
+// A Stride describes a regular vector of equal-size blocks in target
+// memory: Blocks blocks of BlockBytes bytes, whose starts are StrideBytes
+// apart. The origin side is always contiguous (packed); the adapter's
+// scatter/gather engine — not the CPU — maps between the two layouts, so
+// no copy cost is charged on either side, and the whole vector travels as
+// ONE message (one operation overhead, full packets, one ack).
+
+// Stride describes the target-side layout of a strided transfer.
+type Stride struct {
+	// Blocks is the number of equal-size blocks.
+	Blocks int
+	// BlockBytes is the size of each block.
+	BlockBytes int
+	// StrideBytes is the distance between consecutive block starts.
+	// Must be at least BlockBytes (no overlap).
+	StrideBytes int
+}
+
+// Total returns the number of data bytes the vector carries.
+func (s Stride) Total() int { return s.Blocks * s.BlockBytes }
+
+// Span returns the extent of target memory the vector touches.
+func (s Stride) Span() int {
+	if s.Blocks == 0 {
+		return 0
+	}
+	return (s.Blocks-1)*s.StrideBytes + s.BlockBytes
+}
+
+func (s Stride) validate() error {
+	if s.Blocks < 0 || s.BlockBytes < 0 {
+		return fmt.Errorf("lapi: invalid stride %+v", s)
+	}
+	if s.Blocks > 0 && s.BlockBytes > 0 && s.StrideBytes < s.BlockBytes {
+		return fmt.Errorf("lapi: stride %d overlaps blocks of %d bytes", s.StrideBytes, s.BlockBytes)
+	}
+	return nil
+}
+
+// packStride encodes a Stride into the header's addr2/aux fields.
+func packStride(s Stride) (addr2, aux uint64) {
+	return uint64(uint32(s.BlockBytes))<<32 | uint64(uint32(s.StrideBytes)), uint64(uint32(s.Blocks))
+}
+
+func unpackStride(addr2, aux uint64) Stride {
+	return Stride{
+		Blocks:      int(uint32(aux)),
+		BlockBytes:  int(addr2 >> 32),
+		StrideBytes: int(uint32(addr2)),
+	}
+}
+
+// stridedLoc maps a linear offset within the packed stream to the offset
+// within the strided target region.
+func (s Stride) stridedLoc(linear int) int {
+	block := linear / s.BlockBytes
+	within := linear % s.BlockBytes
+	return block*s.StrideBytes + within
+}
+
+// PutStrided copies the packed data into target memory laid out as the
+// given stride vector starting at tgtAddr: block k of BlockBytes lands at
+// tgtAddr + k*StrideBytes. len(data) must equal st.Total(). Counters
+// behave exactly as in Put. The transfer is a single LAPI message.
+func (t *Task) PutStrided(ctx exec.Context, tgt int, tgtAddr Addr, st Stride, data []byte, tgtCntr RemoteCounter, org, cmpl *Counter) error {
+	t.poll(ctx)
+	if err := t.checkTarget(tgt); err != nil {
+		return err
+	}
+	if err := st.validate(); err != nil {
+		return err
+	}
+	if len(data) != st.Total() {
+		return fmt.Errorf("lapi: PutStrided: %d bytes for a %d-byte vector", len(data), st.Total())
+	}
+	if tgtAddr == AddrNil && len(data) > 0 {
+		return fmt.Errorf("lapi: PutStrided: nil target address")
+	}
+	if t.cfg.OpOverhead > 0 {
+		ctx.Sleep(t.cfg.OpOverhead)
+	}
+
+	t.msgSeq++
+	id := t.msgSeq
+	om := &outMsg{kind: ptPutData, dst: tgt, orgCntr: org, cmplCntr: cmpl}
+	t.outMsgs[id] = om
+	t.outstanding++
+
+	addr2, aux := packStride(st)
+	t.sendChunked(ctx, tgt, data, om, func(offset int, chunk []byte) *header {
+		return &header{
+			typ:      ptPutvData,
+			msgID:    id,
+			offset:   uint32(offset),
+			totalLen: uint32(len(data)),
+			addr:     uint64(tgtAddr),
+			addr2:    addr2,
+			cntrA:    uint32(tgtCntr),
+			aux:      aux,
+		}
+	})
+	return nil
+}
+
+// handlePutvData lands one strided-put packet. Each packet is
+// self-describing (linear offset + stride geometry), so out-of-order
+// arrival needs no reassembly buffer: bytes scatter directly into place.
+func (t *Task) handlePutvData(src int, h header, payload []byte) {
+	st := unpackStride(h.addr2, h.aux)
+	key := inKey{src: src, msgID: h.msgID}
+	im := t.inMsgs[key]
+	if im == nil {
+		im = &inMsg{
+			kind:    ptPutData,
+			total:   int(h.totalLen),
+			tgtAddr: Addr(h.addr),
+			tgtCntr: t.counterByID(RemoteCounter(h.cntrA)),
+		}
+		t.inMsgs[key] = im
+	}
+	// Scatter the payload into the strided region, splitting at block
+	// boundaries.
+	linear := int(h.offset)
+	data := payload
+	for len(data) > 0 {
+		within := linear % st.BlockBytes
+		n := st.BlockBytes - within
+		if n > len(data) {
+			n = len(data)
+		}
+		dst, err := t.mem.bytes(Addr(h.addr)+Addr(st.stridedLoc(linear)), n)
+		if err != nil {
+			panic(fmt.Sprintf("lapi: task %d: PutStrided from %d: %v", t.Self(), src, err))
+		}
+		copy(dst, data[:n])
+		linear += n
+		data = data[n:]
+	}
+	im.recvd += len(payload)
+	if im.recvd >= im.total {
+		delete(t.inMsgs, key)
+		im.tgtCntr.incr()
+		t.sendAckPacket(src, ptDataAck, h.msgID)
+	}
+}
+
+// GetStrided pulls a stride vector from target memory at tgtAddr into the
+// packed buffer buf (len(buf) must equal st.Total()). org fires when all
+// data has arrived, as in Get. One LAPI message each way.
+func (t *Task) GetStrided(ctx exec.Context, tgt int, tgtAddr Addr, st Stride, buf []byte, tgtCntr RemoteCounter, org *Counter) error {
+	t.poll(ctx)
+	if err := t.checkTarget(tgt); err != nil {
+		return err
+	}
+	if err := st.validate(); err != nil {
+		return err
+	}
+	if len(buf) != st.Total() {
+		return fmt.Errorf("lapi: GetStrided: %d-byte buffer for a %d-byte vector", len(buf), st.Total())
+	}
+	if tgtAddr == AddrNil && len(buf) > 0 {
+		return fmt.Errorf("lapi: GetStrided: nil target address")
+	}
+	if t.cfg.OpOverhead > 0 {
+		ctx.Sleep(t.cfg.OpOverhead + t.cfg.GetExtra)
+	}
+
+	t.msgSeq++
+	id := t.msgSeq
+	om := &outMsg{kind: ptGetReq, dst: tgt, orgCntr: org, getBuf: buf}
+	t.outMsgs[id] = om
+	t.outstanding++
+
+	addr2, aux := packStride(st)
+	h := &header{
+		typ:      ptGetvReq,
+		msgID:    id,
+		totalLen: uint32(len(buf)),
+		addr:     uint64(tgtAddr),
+		addr2:    addr2,
+		cntrA:    uint32(tgtCntr),
+		aux:      aux,
+	}
+	t.sendControl(ctx, tgt, h)
+	return nil
+}
+
+// handleGetvReq serves a strided get: gather the vector from target memory
+// (adapter scatter/gather — no CPU copy charged) and stream it back as
+// ordinary ptGetData packets, which the origin's existing Get machinery
+// lands in the packed buffer.
+func (t *Task) handleGetvReq(ctx exec.Context, src int, h header) {
+	st := unpackStride(h.addr2, h.aux)
+	n := int(h.totalLen)
+	if n != st.Total() {
+		panic(fmt.Sprintf("lapi: task %d: GetStrided length %d != vector %d", t.Self(), n, st.Total()))
+	}
+	packed := make([]byte, n)
+	for b := 0; b < st.Blocks; b++ {
+		srcBytes, err := t.mem.bytes(Addr(h.addr)+Addr(b*st.StrideBytes), st.BlockBytes)
+		if err != nil {
+			panic(fmt.Sprintf("lapi: task %d: GetStrided from %d: %v", t.Self(), src, err))
+		}
+		copy(packed[b*st.BlockBytes:], srcBytes)
+	}
+	p := t.maxPayload()
+	npkts := (n + p - 1) / p
+	if npkts == 0 {
+		npkts = 1
+	}
+	for i := 0; i < npkts; i++ {
+		off := i * p
+		end := off + p
+		if end > n {
+			end = n
+		}
+		if t.cfg.SendOverhead > 0 {
+			ctx.Sleep(t.cfg.SendOverhead)
+		}
+		gh := &header{typ: ptGetData, msgID: h.msgID, offset: uint32(off), totalLen: uint32(n)}
+		t.tr.Send(ctx, src, t.buildPacket(gh, packed[off:end]), nil)
+	}
+	t.counterByID(RemoteCounter(h.cntrA)).incr()
+}

@@ -1,0 +1,133 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"golapi/internal/exec"
+)
+
+// Collectives built on the point-to-point layer, mirroring the subset of
+// MPI the paper's era commonly used alongside send/receive. All use
+// reserved tags above MaxTag, so user traffic cannot interfere, and all
+// must be called by every rank (standard collective semantics). Like
+// Barrier, they must not race wildcard (AnyTag) user receives.
+const (
+	tagBcast  = 0xFFFE
+	tagReduce = 0xFFFD
+	tagGather = 0xFFFC
+)
+
+// Bcast broadcasts buf from root to every rank: on non-roots, buf is
+// overwritten with root's contents. Binomial-tree dissemination.
+func (t *Task) Bcast(ctx exec.Context, root int, buf []byte) error {
+	if root < 0 || root >= t.N() {
+		return fmt.Errorf("mpi: Bcast: root %d out of range", root)
+	}
+	n := t.N()
+	// Rotate ranks so the root is virtual rank 0, then run the canonical
+	// binomial tree: receive from the parent (virtual rank with our
+	// lowest set bit cleared), then forward to children below that bit.
+	vrank := (t.Self() - root + n) % n
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			parent := ((vrank &^ mask) + root) % n
+			if _, err := t.recvInternal(ctx, parent, tagBcast, buf); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if child := vrank + mask; child < n {
+			dst := (child + root) % n
+			if err := t.sendInternal(ctx, dst, tagBcast, buf); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReduceSum sums one float64 per rank at the root; non-roots receive 0 as
+// the result. Gather-to-root reduction.
+func (t *Task) ReduceSum(ctx exec.Context, root int, x float64) (float64, error) {
+	if root < 0 || root >= t.N() {
+		return 0, fmt.Errorf("mpi: ReduceSum: root %d out of range", root)
+	}
+	payload := make([]byte, 8)
+	binary.BigEndian.PutUint64(payload, math.Float64bits(x))
+	if t.Self() != root {
+		return 0, t.sendInternal(ctx, root, tagReduce, payload)
+	}
+	sum := x
+	buf := make([]byte, 8)
+	for i := 0; i < t.N()-1; i++ {
+		if _, err := t.recvInternal(ctx, AnySource, tagReduce, buf); err != nil {
+			return 0, err
+		}
+		sum += math.Float64frombits(binary.BigEndian.Uint64(buf))
+	}
+	return sum, nil
+}
+
+// AllreduceSum is ReduceSum followed by a broadcast of the result: every
+// rank receives the global sum.
+func (t *Task) AllreduceSum(ctx exec.Context, x float64) (float64, error) {
+	sum, err := t.ReduceSum(ctx, 0, x)
+	if err != nil {
+		return 0, err
+	}
+	buf := make([]byte, 8)
+	if t.Self() == 0 {
+		binary.BigEndian.PutUint64(buf, math.Float64bits(sum))
+	}
+	if err := t.Bcast(ctx, 0, buf); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(buf)), nil
+}
+
+// Gather collects each rank's fixed-size contribution at the root:
+// out[r*len(contrib):...] holds rank r's bytes. out is only written at the
+// root and must hold N*len(contrib) bytes there; other ranks may pass nil.
+func (t *Task) Gather(ctx exec.Context, root int, contrib, out []byte) error {
+	if root < 0 || root >= t.N() {
+		return fmt.Errorf("mpi: Gather: root %d out of range", root)
+	}
+	if t.Self() != root {
+		return t.sendInternal(ctx, root, tagGather, contrib)
+	}
+	if len(out) < t.N()*len(contrib) {
+		return fmt.Errorf("mpi: Gather: out buffer %d bytes, need %d", len(out), t.N()*len(contrib))
+	}
+	copy(out[root*len(contrib):], contrib)
+	buf := make([]byte, len(contrib))
+	for i := 0; i < t.N()-1; i++ {
+		st, err := t.recvInternal(ctx, AnySource, tagGather, buf)
+		if err != nil {
+			return err
+		}
+		if st.Len != len(contrib) {
+			return fmt.Errorf("mpi: Gather: rank %d contributed %d bytes, want %d", st.Source, st.Len, len(contrib))
+		}
+		copy(out[st.Source*len(contrib):], buf)
+	}
+	return nil
+}
+
+// sendInternal/recvInternal bypass the user-tag validation for reserved
+// internal tags.
+func (t *Task) sendInternal(ctx exec.Context, dst, tag int, data []byte) error {
+	req := t.isend(ctx, dst, tag, data)
+	_, err := t.Wait(ctx, req)
+	return err
+}
+
+func (t *Task) recvInternal(ctx exec.Context, src, tag int, buf []byte) (Status, error) {
+	req := t.irecv(ctx, src, tag, buf, nil)
+	return t.Wait(ctx, req)
+}

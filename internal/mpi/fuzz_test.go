@@ -1,0 +1,30 @@
+package mpi
+
+import "testing"
+
+// FuzzDecodeWireHeader: the 16-byte MPI header codec must never panic and
+// must round-trip.
+func FuzzDecodeWireHeader(f *testing.F) {
+	f.Add(make([]byte, wireHeaderSize))
+	f.Add([]byte{mtEager})
+	h := wireHeader{typ: mtRts, tag: 77, msgID: 5, offset: 1024, totalLen: 4096}
+	buf := make([]byte, wireHeaderSize)
+	h.encode(buf)
+	f.Add(buf)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := decodeWireHeader(data)
+		if err != nil {
+			if len(data) >= wireHeaderSize {
+				t.Fatalf("decode rejected %d bytes: %v", len(data), err)
+			}
+			return
+		}
+		out := make([]byte, wireHeaderSize)
+		h.encode(out)
+		h2, err := decodeWireHeader(out)
+		if err != nil || h2 != h {
+			t.Fatalf("decode/encode not a fixed point: %+v vs %+v", h, h2)
+		}
+	})
+}

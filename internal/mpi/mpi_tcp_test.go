@@ -1,0 +1,91 @@
+package mpi_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"golapi/internal/exec"
+	"golapi/internal/mpi"
+	"golapi/internal/tcpnet"
+)
+
+// TestMPIOverTCP runs the two-sided library over real sockets with the
+// zero-cost model: eager and rendezvous paths, tag matching and barrier.
+func TestMPIOverTCP(t *testing.T) {
+	const n = 3
+	addrs, err := tcpnet.LocalAddrs(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := make([]*exec.RealRuntime, n)
+	tasks := make([]*mpi.Task, n)
+	var setup sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		rts[i] = exec.NewRealRuntime()
+		setup.Add(1)
+		go func() {
+			defer setup.Done()
+			ep, err := tcpnet.Dial(rts[i], i, n, addrs, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mt, err := mpi.NewTask(rts[i], ep, mpi.ZeroCost())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tasks[i] = mt
+		}()
+	}
+	setup.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	big := make([]byte, 200_000) // rendezvous (eager limit 4096)
+	for i := range big {
+		big[i] = byte(i * 13)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		rts[i].Go("main", func(ctx exec.Context) {
+			defer wg.Done()
+			mt := tasks[i]
+			switch mt.Self() {
+			case 0:
+				if err := mt.Send(ctx, 1, 1, []byte("eager over tcp")); err != nil {
+					t.Error(err)
+				}
+				if err := mt.Send(ctx, 2, 2, big); err != nil {
+					t.Error(err)
+				}
+			case 1:
+				buf := make([]byte, 64)
+				st, err := mt.Recv(ctx, 0, 1, buf)
+				if err != nil || string(buf[:st.Len]) != "eager over tcp" {
+					t.Errorf("st=%+v err=%v data=%q", st, err, buf[:st.Len])
+				}
+			case 2:
+				buf := make([]byte, len(big))
+				st, err := mt.Recv(ctx, 0, 2, buf)
+				if err != nil || st.Len != len(big) || !bytes.Equal(buf, big) {
+					t.Errorf("rendezvous over TCP corrupted (len %d, err %v)", st.Len, err)
+				}
+			}
+			if err := mt.Barrier(ctx); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+	wg.Wait()
+	for i, mt := range tasks {
+		mt := mt
+		rts[i].Post(func() { mt.Close() })
+	}
+}

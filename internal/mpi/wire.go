@@ -1,0 +1,75 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Packet types.
+const (
+	mtEager byte = iota + 1 // eager data (every packet carries tag+total)
+	mtRts                   // rendezvous request-to-send
+	mtCts                   // rendezvous clear-to-send
+	mtRData                 // rendezvous data
+)
+
+// wireHeader is the 16-byte MPI packet header (§4). Message IDs are
+// per-(src,dst) stream sequence numbers, which is what gives MPI its
+// guaranteed in-order matching: the receiver makes message msgID eligible
+// for matching only after msgID-1.
+//
+//	byte 0     type
+//	byte 1-2   tag (uint16)
+//	byte 3     reserved
+//	byte 4-7   msgID (per src->dst stream)
+//	byte 8-11  offset
+//	byte 12-15 totalLen
+type wireHeader struct {
+	typ      byte
+	tag      uint16
+	msgID    uint32
+	offset   uint32
+	totalLen uint32
+}
+
+const wireHeaderSize = 16
+
+func (h *wireHeader) encode(dst []byte) {
+	dst[0] = h.typ
+	binary.BigEndian.PutUint16(dst[1:], h.tag)
+	dst[3] = 0
+	binary.BigEndian.PutUint32(dst[4:], h.msgID)
+	binary.BigEndian.PutUint32(dst[8:], h.offset)
+	binary.BigEndian.PutUint32(dst[12:], h.totalLen)
+}
+
+func decodeWireHeader(src []byte) (wireHeader, error) {
+	if len(src) < wireHeaderSize {
+		return wireHeader{}, fmt.Errorf("mpi: short packet: %d bytes", len(src))
+	}
+	return wireHeader{
+		typ:      src[0],
+		tag:      binary.BigEndian.Uint16(src[1:]),
+		msgID:    binary.BigEndian.Uint32(src[4:]),
+		offset:   binary.BigEndian.Uint32(src[8:]),
+		totalLen: binary.BigEndian.Uint32(src[12:]),
+	}, nil
+}
+
+func (t *Task) buildPacket(h *wireHeader, payload []byte) []byte {
+	pkt := make([]byte, t.cfg.HeaderBytes+len(payload))
+	h.encode(pkt)
+	copy(pkt[t.cfg.HeaderBytes:], payload)
+	return pkt
+}
+
+func (t *Task) splitPacket(pkt []byte) (wireHeader, []byte, error) {
+	h, err := decodeWireHeader(pkt)
+	if err != nil {
+		return wireHeader{}, nil, err
+	}
+	if len(pkt) < t.cfg.HeaderBytes {
+		return wireHeader{}, nil, fmt.Errorf("mpi: packet shorter than header budget: %d", len(pkt))
+	}
+	return h, pkt[t.cfg.HeaderBytes:], nil
+}

@@ -1,0 +1,37 @@
+package mpi
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPropWireHeaderRoundTrip: the 16-byte MPI header codec is lossless.
+func TestPropWireHeaderRoundTrip(t *testing.T) {
+	prop := func(typ byte, tag uint16, msgID, offset, totalLen uint32) bool {
+		h := wireHeader{typ: typ, tag: tag, msgID: msgID, offset: offset, totalLen: totalLen}
+		buf := make([]byte, wireHeaderSize)
+		h.encode(buf)
+		got, err := decodeWireHeader(buf)
+		return err == nil && got == h
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireHeaderIs16Bytes(t *testing.T) {
+	// The paper's point about peak bandwidth rests on MPI's header being
+	// 16 bytes against LAPI's 48; the encoding must actually fit.
+	if wireHeaderSize != 16 {
+		t.Fatalf("wireHeaderSize = %d, want 16", wireHeaderSize)
+	}
+	if DefaultConfig().HeaderBytes != 16 {
+		t.Fatalf("HeaderBytes = %d, want 16", DefaultConfig().HeaderBytes)
+	}
+}
+
+func TestDecodeShortWirePacket(t *testing.T) {
+	if _, err := decodeWireHeader(make([]byte, 15)); err == nil {
+		t.Fatal("short packet accepted")
+	}
+}

@@ -1,0 +1,147 @@
+package sim
+
+// Queue is an unbounded FIFO connecting simulated processes. Sends never
+// block; receives park the caller until an item is available. It is the
+// simulated analogue of a buffered Go channel and is the normal way a
+// device model hands work to a process.
+type Queue struct {
+	eng    *Engine
+	items  []interface{}
+	avail  *Cond
+	closed bool
+}
+
+// NewQueue returns an empty queue bound to e.
+func NewQueue(e *Engine) *Queue {
+	return &Queue{eng: e, avail: NewCond(e)}
+}
+
+// Push appends v and wakes any receivers. It may be called from engine
+// events or from processes. Push on a closed queue panics.
+func (q *Queue) Push(v interface{}) {
+	if q.closed {
+		panic("sim: Push on closed Queue")
+	}
+	q.items = append(q.items, v)
+	q.avail.Broadcast()
+}
+
+// Close marks the queue closed; receivers drain remaining items and then
+// see ok=false. Close is idempotent.
+func (q *Queue) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.avail.Broadcast()
+}
+
+// Len reports the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// TryPop removes and returns the head item without blocking.
+// ok is false if the queue is empty.
+func (q *Queue) TryPop() (v interface{}, ok bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v = q.items[0]
+	q.items[0] = nil
+	q.items = q.items[1:]
+	return v, true
+}
+
+// Pop blocks the calling process until an item is available or the queue is
+// closed and drained. ok is false only in the closed-and-empty case.
+func (q *Queue) Pop(p *Proc) (v interface{}, ok bool) {
+	for {
+		if v, ok := q.TryPop(); ok {
+			return v, true
+		}
+		if q.closed {
+			return nil, false
+		}
+		p.WaitCond(q.avail)
+	}
+}
+
+// WaitNonEmpty parks p until the queue has at least one item or is closed.
+// It reports whether an item is available.
+func (q *Queue) WaitNonEmpty(p *Proc) bool {
+	for len(q.items) == 0 && !q.closed {
+		p.WaitCond(q.avail)
+	}
+	return len(q.items) > 0
+}
+
+// Semaphore is a counting semaphore for simulated processes, useful for
+// modelling finite resources such as adapter DMA slots.
+type Semaphore struct {
+	eng   *Engine
+	n     int
+	avail *Cond
+}
+
+// NewSemaphore returns a semaphore with n initial permits.
+func NewSemaphore(e *Engine, n int) *Semaphore {
+	return &Semaphore{eng: e, n: n, avail: NewCond(e)}
+}
+
+// Acquire parks p until a permit is available, then takes it.
+func (s *Semaphore) Acquire(p *Proc) {
+	for s.n == 0 {
+		p.WaitCond(s.avail)
+	}
+	s.n--
+}
+
+// TryAcquire takes a permit if one is available without blocking.
+func (s *Semaphore) TryAcquire() bool {
+	if s.n == 0 {
+		return false
+	}
+	s.n--
+	return true
+}
+
+// Release returns a permit and wakes waiters.
+func (s *Semaphore) Release() {
+	s.n++
+	s.avail.Broadcast()
+}
+
+// Permits reports the number of available permits.
+func (s *Semaphore) Permits() int { return s.n }
+
+// Barrier blocks processes until n of them have arrived, then releases the
+// whole generation at once. It is reusable across generations.
+type Barrier struct {
+	eng   *Engine
+	n     int
+	count int
+	gen   int
+	cond  *Cond
+}
+
+// NewBarrier returns a barrier for n participants.
+func NewBarrier(e *Engine, n int) *Barrier {
+	if n <= 0 {
+		panic("sim: barrier size must be positive")
+	}
+	return &Barrier{eng: e, n: n, cond: NewCond(e)}
+}
+
+// Await parks p until all n participants have called Await.
+func (b *Barrier) Await(p *Proc) {
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		p.WaitCond(b.cond)
+	}
+}

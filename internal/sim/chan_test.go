@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e)
+	var got []int
+	e.Go("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(time.Microsecond)
+			q.Push(i)
+		}
+		q.Close()
+	})
+	e.Go("consumer", func(p *Proc) {
+		for {
+			v, ok := q.Pop(p)
+			if !ok {
+				return
+			}
+			got = append(got, v.(int))
+		}
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %v", got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestQueueTryPop(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e)
+	if _, ok := q.TryPop(); ok {
+		t.Fatal("TryPop on empty queue returned ok")
+	}
+	q.Push("x")
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	v, ok := q.TryPop()
+	if !ok || v.(string) != "x" {
+		t.Fatalf("TryPop = %v, %v", v, ok)
+	}
+}
+
+func TestQueuePopClosedEmpty(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e)
+	var ok bool
+	e.Go("c", func(p *Proc) {
+		_, ok = q.Pop(p)
+	})
+	e.Go("closer", func(p *Proc) {
+		p.Sleep(time.Microsecond)
+		q.Close()
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("Pop on closed empty queue returned ok=true")
+	}
+}
+
+func TestQueuePushAfterCloseFull(t *testing.T) {
+	e := NewEngine()
+	q := NewQueue(e)
+	q.Push(1)
+	q.Close()
+	q.Close() // idempotent
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Push after Close did not panic")
+		}
+	}()
+	q.Push(2)
+}
+
+func TestSemaphoreLimitsConcurrency(t *testing.T) {
+	e := NewEngine()
+	s := NewSemaphore(e, 2)
+	inUse, maxInUse := 0, 0
+	for i := 0; i < 6; i++ {
+		e.Go("worker", func(p *Proc) {
+			s.Acquire(p)
+			inUse++
+			if inUse > maxInUse {
+				maxInUse = inUse
+			}
+			p.Sleep(10 * time.Microsecond)
+			inUse--
+			s.Release()
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if maxInUse != 2 {
+		t.Fatalf("max concurrent holders = %d, want 2", maxInUse)
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	e := NewEngine()
+	s := NewSemaphore(e, 1)
+	if !s.TryAcquire() {
+		t.Fatal("first TryAcquire failed")
+	}
+	if s.TryAcquire() {
+		t.Fatal("second TryAcquire succeeded with 0 permits")
+	}
+	s.Release()
+	if s.Permits() != 1 {
+		t.Fatalf("permits = %d", s.Permits())
+	}
+}
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	e := NewEngine()
+	b := NewBarrier(e, 3)
+	var release []Time
+	for i := 0; i < 3; i++ {
+		d := Duration(i*10) * time.Microsecond
+		e.Go("p", func(p *Proc) {
+			p.Sleep(d)
+			b.Await(p)
+			release = append(release, p.Now())
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(release) != 3 {
+		t.Fatalf("release = %v", release)
+	}
+	for _, r := range release {
+		if r != Time(20*time.Microsecond) {
+			t.Fatalf("release times %v, want all at 20µs (last arrival)", release)
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	e := NewEngine()
+	b := NewBarrier(e, 2)
+	count := 0
+	for i := 0; i < 2; i++ {
+		e.Go("p", func(p *Proc) {
+			for gen := 0; gen < 4; gen++ {
+				b.Await(p)
+				count++
+			}
+		})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 8 {
+		t.Fatalf("count = %d, want 8", count)
+	}
+}
+
+func TestBarrierSizeValidation(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBarrier(0) did not panic")
+		}
+	}()
+	NewBarrier(e, 0)
+}

@@ -1,0 +1,252 @@
+// Package sim implements a deterministic discrete-event simulation engine
+// with cooperatively scheduled processes.
+//
+// The engine maintains a virtual clock and a priority queue of events.
+// Exactly one goroutine — either the engine itself or a single simulated
+// process — runs at any instant, so simulated code needs no locking and
+// every run with the same inputs produces the same event order.
+//
+// Processes are real goroutines that hand control back to the engine
+// whenever they block (Sleep, Wait); the handoff is a rendezvous on
+// per-process channels, which keeps user code in ordinary blocking style
+// while the clock only advances between events.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Time is a virtual timestamp measured in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration re-exports time.Duration for virtual intervals; virtual durations
+// use the same unit (nanoseconds) as wall-clock durations so the usual
+// time.Microsecond constants read naturally in configs.
+type Duration = time.Duration
+
+func (t Time) String() string {
+	return time.Duration(t).String()
+}
+
+// event is a scheduled callback. Events with equal time fire in scheduling
+// order (seq breaks ties), which is what makes runs deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler. The zero value is not usable; create
+// one with NewEngine.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	yield   chan struct{} // process -> engine handoff
+	procs   map[*Proc]struct{}
+	stopped bool
+}
+
+// NewEngine returns an engine with an empty event queue at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule arranges for fn to run at Now()+d on the engine goroutine.
+// A negative delay is treated as zero.
+func (e *Engine) Schedule(d Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: e.now + Time(d), seq: e.seq, fn: fn})
+}
+
+// DeadlockError reports that the event queue drained while processes were
+// still parked — the simulated system can make no further progress.
+type DeadlockError struct {
+	// Parked lists the names of the stuck processes, sorted.
+	Parked []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock: %d process(es) parked with no pending events: %v", len(d.Parked), d.Parked)
+}
+
+// Run executes events until the queue is empty. It returns nil when every
+// spawned process has finished, or a *DeadlockError if processes remain
+// parked with nothing left to wake them.
+func (e *Engine) Run() error {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.at < e.now {
+			panic("sim: event scheduled in the past")
+		}
+		e.now = ev.at
+		ev.fn()
+	}
+	var parked []string
+	for p := range e.procs {
+		if !p.done {
+			parked = append(parked, p.name)
+		}
+	}
+	if len(parked) > 0 {
+		sort.Strings(parked)
+		return &DeadlockError{Parked: parked}
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps <= deadline and then stops,
+// leaving later events queued. It reports whether any events remain.
+func (e *Engine) RunUntil(deadline Time) bool {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return len(e.events) > 0
+}
+
+// Proc is a simulated process: a goroutine whose execution interleaves with
+// the engine one-at-a-time. All Proc methods must be called from within the
+// process's own function.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	done   bool
+	parked bool
+	exit   *Cond // broadcast on completion, for Join
+}
+
+// Go spawns fn as a new simulated process starting at the current virtual
+// time. fn begins executing when the engine reaches the start event.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		exit:   NewCond(e),
+	}
+	e.procs[p] = struct{}{}
+	go func() {
+		<-p.resume // wait for the engine to start us
+		fn(p)
+		p.done = true
+		p.exit.Broadcast()
+		e.yield <- struct{}{}
+	}()
+	e.Schedule(0, func() { e.step(p) })
+	return p
+}
+
+// step transfers control to p until it parks or finishes.
+func (e *Engine) step(p *Proc) {
+	if p.done {
+		return
+	}
+	p.parked = false
+	p.resume <- struct{}{}
+	<-e.yield
+}
+
+// park returns control to the engine until another step resumes the process.
+func (p *Proc) park() {
+	p.parked = true
+	p.eng.yield <- struct{}{}
+	<-p.resume
+}
+
+// Name returns the process name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Sleep suspends the process for virtual duration d.
+func (p *Proc) Sleep(d Duration) {
+	if d <= 0 {
+		// Even a zero-length sleep is a scheduling point: other events at
+		// the current time run before we continue.
+		d = 0
+	}
+	p.eng.Schedule(d, func() { p.eng.step(p) })
+	p.park()
+}
+
+// Join blocks until q has finished.
+func (p *Proc) Join(q *Proc) {
+	for !q.done {
+		p.WaitCond(q.exit)
+	}
+}
+
+// Cond is a broadcast-only condition variable for simulated processes.
+// Because the engine serializes execution, no lock is associated with it:
+// checking a predicate and calling WaitCond cannot race with a Broadcast.
+type Cond struct {
+	eng     *Engine
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable bound to e.
+func NewCond(e *Engine) *Cond { return &Cond{eng: e} }
+
+// WaitCond parks the process until c is broadcast. As with sync.Cond, the
+// caller must re-check its predicate in a loop.
+func (p *Proc) WaitCond(c *Cond) {
+	c.waiters = append(c.waiters, p)
+	p.park()
+}
+
+// Broadcast wakes all processes currently waiting on c. Wakeups are
+// scheduled at the current virtual time in wait order.
+func (c *Cond) Broadcast() {
+	waiters := c.waiters
+	c.waiters = nil
+	for _, p := range waiters {
+		p := p
+		c.eng.Schedule(0, func() { c.eng.step(p) })
+	}
+}
+
+// NumWaiters reports how many processes are parked on c (useful in tests).
+func (c *Cond) NumWaiters() int { return len(c.waiters) }

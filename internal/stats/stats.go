@@ -1,0 +1,86 @@
+// Package stats provides lightweight named counters used across the
+// simulator and protocol layers to account for packets, bytes, copies,
+// interrupts and retransmissions. Counters are safe for concurrent use so
+// the same type serves both the single-threaded simulator and the real
+// TCP transport.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Counters is a set of named monotonic counters. The zero value is ready to
+// use.
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// Add increments name by delta.
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	c.m[name] += delta
+}
+
+// Get returns the current value of name (zero if never added).
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = nil
+}
+
+// String renders the counters sorted by name, one "name=value" per line.
+func (c *Counters) String() string {
+	snap := c.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		fmt.Fprintf(&b, "%s=%d\n", k, snap[k])
+	}
+	return b.String()
+}
+
+// Common counter names, shared so reports line up across packages.
+const (
+	PacketsSent    = "packets_sent"
+	PacketsRecv    = "packets_recv"
+	BytesSent      = "bytes_sent"
+	BytesRecv      = "bytes_recv"
+	PacketsDropped = "packets_dropped"
+	Retransmits    = "retransmits"
+	AcksSent       = "acks_sent"
+	Interrupts     = "interrupts"
+	Polls          = "polls"
+	CopiesBytes    = "copy_bytes"
+	HeaderHandlers = "header_handlers"
+	ComplHandlers  = "completion_handlers"
+)

@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddGet(t *testing.T) {
+	var c Counters
+	if c.Get("missing") != 0 {
+		t.Error("missing counter not zero")
+	}
+	c.Add("a", 3)
+	c.Add("a", 4)
+	c.Add("b", -1)
+	if c.Get("a") != 7 || c.Get("b") != -1 {
+		t.Errorf("a=%d b=%d", c.Get("a"), c.Get("b"))
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	var c Counters
+	c.Add("x", 1)
+	snap := c.Snapshot()
+	c.Add("x", 1)
+	if snap["x"] != 1 {
+		t.Error("snapshot mutated by later Add")
+	}
+	snap["x"] = 99
+	if c.Get("x") != 2 {
+		t.Error("mutating snapshot affected counters")
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Counters
+	c.Add("x", 5)
+	c.Reset()
+	if c.Get("x") != 0 {
+		t.Error("Reset did not zero counters")
+	}
+}
+
+func TestStringSorted(t *testing.T) {
+	var c Counters
+	c.Add("zeta", 1)
+	c.Add("alpha", 2)
+	s := c.String()
+	if !strings.HasPrefix(s, "alpha=2\n") || !strings.Contains(s, "zeta=1\n") {
+		t.Errorf("String() = %q", s)
+	}
+	if strings.Index(s, "alpha") > strings.Index(s, "zeta") {
+		t.Error("output not sorted")
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add("n", 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Get("n") != 8000 {
+		t.Fatalf("n = %d, want 8000", c.Get("n"))
+	}
+}

@@ -1,0 +1,341 @@
+// Package switchnet models the IBM SP high-performance switch as a
+// discrete-event simulation: a full crossbar of nodes whose adapters inject
+// fixed-size packets onto links with finite bandwidth and latency.
+//
+// The model captures exactly the properties the paper's protocol arguments
+// rest on:
+//
+//   - fixed packet size (1 KB on the SP switch) — protocol headers eat into
+//     per-packet payload, which is why LAPI's 48-byte header costs it peak
+//     bandwidth against MPI's 16-byte header;
+//   - link serialization — a node's outgoing link fits one packet at a
+//     time, so asymptotic bandwidth = payload / packet wire time;
+//   - out-of-order delivery — the switch may reorder packets between the
+//     same pair of nodes (LAPI's reassembly machinery exists because of
+//     this);
+//   - unreliability — packets can be dropped; the adapter layer provides
+//     acknowledgements and retransmission, which is why LAPI copies small
+//     messages into internal buffers before returning to the user.
+//
+// CPU costs (send/receive overheads, interrupts, memory copies) are NOT
+// modelled here; they belong to the protocol layers, which charge them to
+// the calling context. The switch models only wire time, propagation and
+// adapter queueing.
+package switchnet
+
+import (
+	"fmt"
+	"time"
+
+	"golapi/internal/exec"
+	"golapi/internal/fabric"
+	"golapi/internal/sim"
+	"golapi/internal/stats"
+)
+
+// Config describes the fabric. The zero value is not valid; start from
+// DefaultConfig.
+type Config struct {
+	// PacketBytes is the maximum wire packet size, including protocol
+	// headers (SP switch: 1024).
+	PacketBytes int
+	// AckBytes is the wire size of an adapter-level acknowledgement.
+	AckBytes int
+	// Bandwidth is the link rate in bytes per second.
+	Bandwidth float64
+	// WireLatency is propagation plus switch traversal time per packet.
+	WireLatency time.Duration
+	// RTO is the retransmission timeout for unacknowledged packets.
+	RTO time.Duration
+	// ReorderEvery, when > 0, delays every Nth data packet by
+	// ReorderDelayPackets packet times so it arrives after its
+	// successors. Deterministic out-of-order injection.
+	ReorderEvery int
+	// ReorderDelayPackets is the extra delay (in packet wire times)
+	// applied to reordered packets. Defaults to 2 when ReorderEvery > 0.
+	ReorderDelayPackets int
+	// DropEvery, when > 0, drops every Nth data packet on first
+	// transmission (retransmissions are never dropped, so progress is
+	// guaranteed). Deterministic failure injection.
+	DropEvery int
+	// SpineLinks, when > 0, models the multistage switch's interior:
+	// every packet must also traverse one of SpineLinks shared spine
+	// links (chosen by source/destination pair), each with Bandwidth
+	// capacity. 0 models an ideal crossbar where only the endpoint
+	// links contend — adequate for the paper's 2-4 node benchmarks, but
+	// a real SP's bisection is finite.
+	SpineLinks int
+}
+
+// DefaultConfig returns the calibration described in DESIGN.md §5: 1 KB
+// packets at ≈102 MB/s with 8 µs of wire latency, yielding the paper's
+// ≈97 MB/s LAPI asymptote once the 48-byte header is subtracted.
+func DefaultConfig() Config {
+	return Config{
+		PacketBytes: 1024,
+		AckBytes:    64,
+		Bandwidth:   102e6,
+		WireLatency: 8 * time.Microsecond,
+		RTO:         500 * time.Microsecond,
+	}
+}
+
+func (c Config) validate() error {
+	if c.PacketBytes <= 0 {
+		return fmt.Errorf("switchnet: PacketBytes must be positive, got %d", c.PacketBytes)
+	}
+	if c.Bandwidth <= 0 {
+		return fmt.Errorf("switchnet: Bandwidth must be positive, got %g", c.Bandwidth)
+	}
+	if c.RTO <= 0 {
+		return fmt.Errorf("switchnet: RTO must be positive, got %v", c.RTO)
+	}
+	return nil
+}
+
+// wireTime returns the link occupancy for n bytes.
+func (c Config) wireTime(n int) time.Duration {
+	return time.Duration(float64(n) / c.Bandwidth * float64(time.Second))
+}
+
+// Switch is a simulated fabric connecting N adapters.
+type Switch struct {
+	eng      *sim.Engine
+	cfg      Config
+	adapters []*Adapter
+	// spineFree tracks when each interior spine link is next idle
+	// (SpineLinks > 0).
+	spineFree []sim.Time
+	Counters  stats.Counters
+}
+
+// New builds a switch with n endpoints on eng.
+func New(eng *sim.Engine, n int, cfg Config) (*Switch, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ReorderEvery > 0 && cfg.ReorderDelayPackets == 0 {
+		cfg.ReorderDelayPackets = 2
+	}
+	s := &Switch{eng: eng, cfg: cfg}
+	if cfg.SpineLinks > 0 {
+		s.spineFree = make([]sim.Time, cfg.SpineLinks)
+	}
+	s.adapters = make([]*Adapter, n)
+	for i := range s.adapters {
+		s.adapters[i] = &Adapter{
+			sw:      s,
+			rank:    i,
+			unacked: make(map[uint64]*txPacket),
+			seen:    make([]map[uint64]bool, n),
+		}
+		for j := range s.adapters[i].seen {
+			s.adapters[i].seen[j] = make(map[uint64]bool)
+		}
+	}
+	return s, nil
+}
+
+// Config returns the switch configuration.
+func (s *Switch) Config() Config { return s.cfg }
+
+// Endpoint returns the adapter for rank, which implements fabric.Transport.
+func (s *Switch) Endpoint(rank int) *Adapter {
+	fabric.CheckRank(rank, len(s.adapters))
+	return s.adapters[rank]
+}
+
+// txPacket is a sender-side record of an in-flight packet.
+type txPacket struct {
+	dst     int
+	seq     uint64
+	data    []byte
+	acked   bool
+	retries int
+}
+
+// Adapter is one node's attachment to the switch. It provides reliable,
+// possibly-reordered packet delivery and implements fabric.Transport.
+type Adapter struct {
+	sw      *Switch
+	rank    int
+	deliver func(src int, data []byte)
+
+	// linkFree is the virtual time at which the outgoing link becomes
+	// idle; packets queue behind it (link serialization).
+	linkFree sim.Time
+	// dataSent counts first transmissions, for the deterministic
+	// reorder/drop rules.
+	dataSent uint64
+
+	unacked map[uint64]*txPacket // keyed by seq (seqs are globally unique per adapter)
+	seqGen  uint64               // global sequence generator for this adapter
+	seen    []map[uint64]bool    // per-source delivered seqs (dedup of retransmits)
+}
+
+var _ fabric.Transport = (*Adapter)(nil)
+
+// Self implements fabric.Transport.
+func (a *Adapter) Self() int { return a.rank }
+
+// N implements fabric.Transport.
+func (a *Adapter) N() int { return len(a.sw.adapters) }
+
+// MaxPacket implements fabric.Transport.
+func (a *Adapter) MaxPacket() int { return a.sw.cfg.PacketBytes }
+
+// SetDeliver implements fabric.Transport.
+func (a *Adapter) SetDeliver(fn func(src int, data []byte)) { a.deliver = fn }
+
+// Close implements fabric.Transport.
+func (a *Adapter) Close() error { return nil }
+
+// Send implements fabric.Transport: queue one packet for dst. The sent
+// callback, if non-nil, fires when the packet has fully left the adapter
+// (the origin buffer drain point used for LAPI's origin counter on
+// zero-copy sends). Send never blocks.
+func (a *Adapter) Send(ctx exec.Context, dst int, data []byte, sent func()) {
+	fabric.CheckRank(dst, len(a.sw.adapters))
+	if len(data) > a.sw.cfg.PacketBytes {
+		panic(fmt.Sprintf("switchnet: packet of %d bytes exceeds PacketBytes=%d", len(data), a.sw.cfg.PacketBytes))
+	}
+	if dst == a.rank {
+		// Loopback: no wire, deliver at the next scheduling point.
+		a.sw.Counters.Add(stats.PacketsSent, 1)
+		a.sw.Counters.Add(stats.BytesSent, int64(len(data)))
+		a.sw.eng.Schedule(0, func() {
+			if sent != nil {
+				sent()
+			}
+			a.sw.adapters[dst].receiveLoopback(a.rank, data)
+		})
+		return
+	}
+	a.seqGen++
+	p := &txPacket{dst: dst, seq: a.seqGen, data: data}
+	a.unacked[p.seq] = p
+	a.transmit(p, false, sent)
+}
+
+// transmit puts p on the wire (first transmission or retransmission).
+func (a *Adapter) transmit(p *txPacket, isRetry bool, sent func()) {
+	cfg := a.sw.cfg
+	eng := a.sw.eng
+
+	wire := cfg.wireTime(len(p.data))
+	depart := eng.Now()
+	if a.linkFree > depart {
+		depart = a.linkFree
+	}
+	a.linkFree = depart + sim.Time(wire)
+
+	a.sw.Counters.Add(stats.PacketsSent, 1)
+	a.sw.Counters.Add(stats.BytesSent, int64(len(p.data)))
+
+	drop := false
+	extra := time.Duration(0)
+	if !isRetry {
+		a.dataSent++
+		if cfg.DropEvery > 0 && a.dataSent%uint64(cfg.DropEvery) == 0 {
+			drop = true
+		}
+		if !drop && cfg.ReorderEvery > 0 && a.dataSent%uint64(cfg.ReorderEvery) == 0 {
+			extra = time.Duration(cfg.ReorderDelayPackets) * cfg.wireTime(cfg.PacketBytes)
+		}
+	} else {
+		a.sw.Counters.Add(stats.Retransmits, 1)
+	}
+
+	if sent != nil {
+		eng.Schedule(time.Duration(a.linkFree-eng.Now()), sent)
+	}
+
+	if drop {
+		a.sw.Counters.Add(stats.PacketsDropped, 1)
+	} else {
+		// Egress-link drain, then (optionally) a shared spine link, then
+		// propagation.
+		ready := a.linkFree
+		if a.sw.spineFree != nil {
+			// Deterministic multiplicative hash of the (src,dst) pair:
+			// routes are fixed per pair, as on the real switch.
+			h := uint64(a.rank)*0x9E3779B97F4A7C15 ^ uint64(p.dst)*0xC2B2AE3D27D4EB4F
+			sl := &a.sw.spineFree[h%uint64(len(a.sw.spineFree))]
+			start := ready
+			if *sl > start {
+				start = *sl
+			}
+			*sl = start + sim.Time(wire)
+			ready = *sl
+		}
+		arrive := time.Duration(ready-eng.Now()) + cfg.WireLatency + extra
+		src, seq, data := a.rank, p.seq, p.data
+		eng.Schedule(arrive, func() {
+			a.sw.adapters[p.dst].receive(src, seq, data)
+		})
+	}
+
+	// Arm the retransmission timer.
+	seq := p.seq
+	eng.Schedule(time.Duration(a.linkFree-eng.Now())+cfg.RTO, func() {
+		q, ok := a.unacked[seq]
+		if !ok || q.acked {
+			return
+		}
+		q.retries++
+		a.transmit(q, true, nil)
+	})
+}
+
+// receive handles an arriving data packet at the destination adapter.
+func (a *Adapter) receive(src int, seq uint64, data []byte) {
+	// Always (re-)acknowledge: the earlier ack may have raced a
+	// retransmission.
+	a.sendAck(src, seq)
+	if a.seen[src][seq] {
+		return // duplicate from retransmission
+	}
+	a.seen[src][seq] = true
+	a.sw.Counters.Add(stats.PacketsRecv, 1)
+	a.sw.Counters.Add(stats.BytesRecv, int64(len(data)))
+	if a.deliver == nil {
+		panic(fmt.Sprintf("switchnet: packet for rank %d with no deliver callback", a.rank))
+	}
+	a.deliver(src, data)
+}
+
+// receiveLoopback bypasses sequencing for self-sends.
+func (a *Adapter) receiveLoopback(src int, data []byte) {
+	a.sw.Counters.Add(stats.PacketsRecv, 1)
+	a.sw.Counters.Add(stats.BytesRecv, int64(len(data)))
+	if a.deliver == nil {
+		panic(fmt.Sprintf("switchnet: packet for rank %d with no deliver callback", a.rank))
+	}
+	a.deliver(src, data)
+}
+
+// sendAck returns a small acknowledgement to src. Acks consume reverse-link
+// bandwidth but are never dropped or reordered (the adapter hardware
+// protocol), which keeps retransmission logic simple and deterministic.
+func (a *Adapter) sendAck(src int, seq uint64) {
+	cfg := a.sw.cfg
+	eng := a.sw.eng
+	wire := cfg.wireTime(cfg.AckBytes)
+	depart := eng.Now()
+	if a.linkFree > depart {
+		depart = a.linkFree
+	}
+	a.linkFree = depart + sim.Time(wire)
+	a.sw.Counters.Add(stats.AcksSent, 1)
+	arrive := time.Duration(a.linkFree-eng.Now()) + cfg.WireLatency
+	eng.Schedule(arrive, func() {
+		origin := a.sw.adapters[src]
+		if p, ok := origin.unacked[seq]; ok {
+			p.acked = true
+			delete(origin.unacked, seq)
+		}
+	})
+}
+
+// PendingAcks reports the number of unacknowledged packets (test hook).
+func (a *Adapter) PendingAcks() int { return len(a.unacked) }

@@ -1,0 +1,322 @@
+// Package tcpnet is the real-network transport: a full mesh of TCP
+// connections carrying length-prefixed packets, implementing
+// fabric.Transport. It lets the LAPI and MPI libraries run as actual
+// distributed programs (one process per task, or several tasks in one
+// process for local experimentation).
+//
+// TCP gives reliable in-order delivery — a strict superset of the
+// guarantees the protocols need (they tolerate reordering). Latency
+// fidelity to the SP switch is intentionally out of scope: the cost models
+// are zeroed on this transport (lapi.ZeroCost / mpi.ZeroCost) and real CPU
+// and network time is spent instead.
+package tcpnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"golapi/internal/exec"
+	"golapi/internal/fabric"
+)
+
+// DefaultMaxPacket is the default packet budget presented to protocols.
+// Larger than the SP switch's 1 KB: TCP has no hardware packet size, and
+// bigger packets amortize per-frame overhead.
+const DefaultMaxPacket = 64 * 1024
+
+// Endpoint is one task's attachment to the TCP mesh.
+type Endpoint struct {
+	rt        *exec.RealRuntime
+	self, n   int
+	maxPacket int
+
+	mu      sync.Mutex
+	deliver func(src int, data []byte)
+	pending []pendingPkt // frames that arrived before SetDeliver
+	conns   []*conn      // by peer rank; conns[self] == nil
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+type pendingPkt struct {
+	src  int
+	data []byte
+}
+
+// conn is one peer connection with an outbound writer goroutine, so sends
+// never block the caller's runtime lock.
+type conn struct {
+	c   net.Conn
+	out chan outFrame
+}
+
+type outFrame struct {
+	data []byte
+	sent func()
+}
+
+var _ fabric.Transport = (*Endpoint)(nil)
+
+// Dial builds the mesh for task self of n, where addrs[i] is task i's
+// listen address. Each endpoint accepts connections from lower ranks and
+// dials higher ranks, then handshakes with a 4-byte rank exchange. All
+// endpoints must be constructed concurrently (their Dial calls
+// rendezvous).
+func Dial(rt *exec.RealRuntime, self, n int, addrs []string, maxPacket int) (*Endpoint, error) {
+	if maxPacket <= 0 {
+		maxPacket = DefaultMaxPacket
+	}
+	e := &Endpoint{
+		rt:        rt,
+		self:      self,
+		n:         n,
+		maxPacket: maxPacket,
+		conns:     make([]*conn, n),
+	}
+
+	ln, err := net.Listen("tcp", addrs[self])
+	if err != nil {
+		return nil, fmt.Errorf("tcpnet: rank %d listen: %w", self, err)
+	}
+	defer ln.Close()
+
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+
+	// Accept from lower ranks.
+	for i := 0; i < self; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := ln.Accept()
+			if err != nil {
+				errs <- err
+				return
+			}
+			var hello [4]byte
+			if _, err := io.ReadFull(c, hello[:]); err != nil {
+				errs <- err
+				return
+			}
+			peer := int(binary.BigEndian.Uint32(hello[:]))
+			if peer < 0 || peer >= n {
+				errs <- fmt.Errorf("tcpnet: bad hello rank %d", peer)
+				return
+			}
+			e.mu.Lock()
+			e.conns[peer] = newConn(c)
+			e.mu.Unlock()
+		}()
+	}
+	// Dial higher ranks.
+	for i := self + 1; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c, err := dialRetry(addrs[i])
+			if err != nil {
+				errs <- err
+				return
+			}
+			var hello [4]byte
+			binary.BigEndian.PutUint32(hello[:], uint32(self))
+			if _, err := c.Write(hello[:]); err != nil {
+				errs <- err
+				return
+			}
+			e.mu.Lock()
+			e.conns[i] = newConn(c)
+			e.mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return nil, fmt.Errorf("tcpnet: rank %d mesh: %w", self, err)
+	default:
+	}
+
+	// Start reader and writer loops.
+	for peer, cn := range e.conns {
+		if cn == nil {
+			continue
+		}
+		e.wg.Add(2)
+		go e.readLoop(peer, cn)
+		go e.writeLoop(cn)
+	}
+	return e, nil
+}
+
+func dialRetry(addr string) (net.Conn, error) {
+	var lastErr error
+	for i := 0; i < 200; i++ {
+		c, err := net.Dial("tcp", addr)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		time.Sleep(5 * time.Millisecond)
+	}
+	return nil, lastErr
+}
+
+func newConn(c net.Conn) *conn {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &conn{c: c, out: make(chan outFrame, 1024)}
+}
+
+// Self implements fabric.Transport.
+func (e *Endpoint) Self() int { return e.self }
+
+// N implements fabric.Transport.
+func (e *Endpoint) N() int { return e.n }
+
+// MaxPacket implements fabric.Transport.
+func (e *Endpoint) MaxPacket() int { return e.maxPacket }
+
+// SetDeliver implements fabric.Transport, flushing any frames that raced
+// ahead of task construction.
+func (e *Endpoint) SetDeliver(fn func(src int, data []byte)) {
+	e.mu.Lock()
+	pending := e.pending
+	e.pending = nil
+	e.deliver = fn
+	e.mu.Unlock()
+	for _, p := range pending {
+		e.rt.Post(func() { fn(p.src, p.data) })
+	}
+}
+
+// Send implements fabric.Transport. The frame is queued on the peer's
+// writer; sent fires (serialized on the runtime) once it has been written
+// to the socket.
+func (e *Endpoint) Send(ctx exec.Context, dst int, data []byte, sent func()) {
+	fabric.CheckRank(dst, e.n)
+	if len(data) > e.maxPacket {
+		panic(fmt.Sprintf("tcpnet: packet of %d bytes exceeds MaxPacket=%d", len(data), e.maxPacket))
+	}
+	if dst == e.self {
+		// Loopback without touching the network. Deliver
+		// asynchronously to preserve Send's non-blocking contract.
+		cp := append([]byte(nil), data...)
+		e.rt.After(0, func() {
+			if sent != nil {
+				sent()
+			}
+			e.dispatch(e.self, cp)
+		})
+		return
+	}
+	e.mu.Lock()
+	cn := e.conns[dst]
+	closed := e.closed
+	e.mu.Unlock()
+	if closed || cn == nil {
+		return // drops after close, like a downed link
+	}
+	cn.out <- outFrame{data: data, sent: sent}
+}
+
+func (e *Endpoint) writeLoop(cn *conn) {
+	defer e.wg.Done()
+	// Closing the socket here — after the outbound queue has drained —
+	// guarantees frames queued before Close (e.g. a final barrier
+	// release) are flushed, and unblocks the peer-facing read loop.
+	defer cn.c.Close()
+	var lenBuf [4]byte
+	for f := range cn.out {
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(f.data)))
+		if _, err := cn.c.Write(lenBuf[:]); err != nil {
+			return
+		}
+		if _, err := cn.c.Write(f.data); err != nil {
+			return
+		}
+		if f.sent != nil {
+			sent := f.sent
+			e.rt.Post(sent)
+		}
+	}
+}
+
+func (e *Endpoint) readLoop(peer int, cn *conn) {
+	defer e.wg.Done()
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(cn.c, lenBuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if int(n) > e.maxPacket {
+			return // corrupt stream; drop the connection
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(cn.c, data); err != nil {
+			return
+		}
+		e.rt.Post(func() { e.dispatch(peer, data) })
+	}
+}
+
+// dispatch hands a frame to the deliver callback, or stashes it if the
+// callback is not installed yet. Runs serialized on the runtime.
+func (e *Endpoint) dispatch(src int, data []byte) {
+	e.mu.Lock()
+	fn := e.deliver
+	if fn == nil {
+		e.pending = append(e.pending, pendingPkt{src: src, data: data})
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Unlock()
+	fn(src, data)
+}
+
+// Close implements fabric.Transport: tears down the mesh.
+func (e *Endpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := append([]*conn(nil), e.conns...)
+	e.mu.Unlock()
+	// Closing the queue lets each writer drain its backlog and then close
+	// its socket; nothing already queued is lost.
+	for _, cn := range conns {
+		if cn != nil {
+			close(cn.out)
+		}
+	}
+	return nil
+}
+
+// Drain blocks until all connection loops have exited: the outbound
+// queues have been flushed onto the wire and every socket is closed. Call
+// it after Close, before process exit, so queued frames (e.g. a final
+// barrier release to a peer) are not lost.
+func (e *Endpoint) Drain() { e.wg.Wait() }
+
+// LocalAddrs returns n distinct loopback addresses with OS-assigned free
+// ports, for single-machine clusters.
+func LocalAddrs(n int) ([]string, error) {
+	addrs := make([]string, n)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	return addrs, nil
+}

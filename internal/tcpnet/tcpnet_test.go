@@ -1,0 +1,268 @@
+package tcpnet_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"golapi/internal/cluster"
+	"golapi/internal/exec"
+	"golapi/internal/lapi"
+	"golapi/internal/tcpnet"
+)
+
+// TestRawMeshDelivery exercises the transport alone: every rank sends to
+// every other rank; all frames arrive intact with correct sources.
+func TestRawMeshDelivery(t *testing.T) {
+	const n = 3
+	addrs, err := tcpnet.LocalAddrs(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := make([]*exec.RealRuntime, n)
+	eps := make([]*tcpnet.Endpoint, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		rts[i] = exec.NewRealRuntime()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep, err := tcpnet.Dial(rts[i], i, n, addrs, 4096)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			eps[i] = ep
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	type rx struct {
+		src  int
+		data string
+	}
+	got := make([][]rx, n)
+	var mu sync.Mutex
+	done := make(chan struct{}, n*(n-1))
+	for i := 0; i < n; i++ {
+		i := i
+		eps[i].SetDeliver(func(src int, data []byte) {
+			mu.Lock()
+			got[i] = append(got[i], rx{src, string(data)})
+			mu.Unlock()
+			done <- struct{}{}
+		})
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			eps[i].Send(nil, j, []byte{byte('A' + i)}, nil)
+		}
+	}
+	for k := 0; k < n*(n-1); k++ {
+		<-done
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < n; i++ {
+		if len(got[i]) != n-1 {
+			t.Errorf("rank %d received %d frames", i, len(got[i]))
+		}
+		for _, r := range got[i] {
+			if r.data != string(rune('A'+r.src)) {
+				t.Errorf("rank %d: frame %q from %d", i, r.data, r.src)
+			}
+		}
+	}
+	for _, ep := range eps {
+		ep.Close()
+	}
+}
+
+// TestLAPIOverTCP runs the full LAPI stack over real sockets with the
+// zero-cost model: puts, gets, active messages, Rmw and Gfence, with real
+// goroutine concurrency (run with -race).
+func TestLAPIOverTCP(t *testing.T) {
+	j, err := cluster.NewTCPLAPI(3, lapi.ZeroCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var amData []byte
+	var amMu sync.Mutex
+	err = j.Run(func(ctx exec.Context, lt *lapi.Task) {
+		buf := lt.Alloc(1 << 16)
+		cnt := lt.NewCounter()
+		h := lt.RegisterHandler(func(tk *lapi.Task, info *lapi.AmInfo) (lapi.Addr, lapi.CompletionHandler) {
+			b := tk.Alloc(info.DataLen)
+			return b, func(cctx exec.Context, tk2 *lapi.Task) {
+				amMu.Lock()
+				amData = append([]byte(nil), tk2.MustBytes(b, info.DataLen)...)
+				amMu.Unlock()
+			}
+		})
+		addrs, err := lt.AddressInit(ctx, buf)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+
+		if lt.Self() == 0 {
+			// Multi-packet put (64 KB packets, 200 KB message... the
+			// arena block is 64 KB, stay inside it).
+			data := make([]byte, 50_000)
+			for i := range data {
+				data[i] = byte(i * 11)
+			}
+			cmpl := lt.NewCounter()
+			if err := lt.Put(ctx, 1, addrs[1], data, lapi.NoCounter, nil, cmpl); err != nil {
+				t.Error(err)
+			}
+			lt.Waitcntr(ctx, cmpl, 1)
+
+			back := make([]byte, 50_000)
+			org := lt.NewCounter()
+			if err := lt.Get(ctx, 1, addrs[1], back, lapi.NoCounter, org); err != nil {
+				t.Error(err)
+			}
+			lt.Waitcntr(ctx, org, 1)
+			if !bytes.Equal(back, data) {
+				t.Error("TCP put/get roundtrip corrupted data")
+			}
+
+			if err := lt.Amsend(ctx, 2, h, []byte("hdr"), []byte("tcp active message"), lapi.NoCounter, nil, cmpl); err != nil {
+				t.Error(err)
+			}
+			lt.Waitcntr(ctx, cmpl, 1)
+
+			var prev int64
+			lt.Rmw(ctx, lapi.RmwFetchAndAdd, 2, addrs[2], 5, 0, &prev, org)
+			lt.Waitcntr(ctx, org, 1)
+		}
+		lt.Gfence(ctx)
+		if lt.Self() == 2 {
+			v, _ := lt.ReadInt64(buf)
+			if v != 5 {
+				t.Errorf("Rmw over TCP: value %d, want 5", v)
+			}
+		}
+		if lt.Self() == 0 {
+			// Use cnt so every rank creates identical counter sets.
+			_ = cnt
+		}
+		lt.Barrier(ctx)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	amMu.Lock()
+	defer amMu.Unlock()
+	if string(amData) != "tcp active message" {
+		t.Errorf("AM data = %q", amData)
+	}
+}
+
+// TestLAPIOverTCPConcurrentTraffic stresses the mesh: all ranks hammer all
+// ranks with puts and Rmw increments simultaneously.
+func TestLAPIOverTCPConcurrentTraffic(t *testing.T) {
+	const n = 4
+	j, err := cluster.NewTCPLAPI(n, lapi.ZeroCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var finals [n]int64
+	err = j.Run(func(ctx exec.Context, lt *lapi.Task) {
+		counterVar := lt.Alloc(8)
+		slots := lt.Alloc(8 * n)
+		cAddrs, _ := lt.AddressInit(ctx, counterVar)
+		sAddrs, _ := lt.AddressInit(ctx, slots)
+
+		org := lt.NewCounter()
+		cmpl := lt.NewCounter()
+		const reps = 20
+		for i := 0; i < reps; i++ {
+			for r := 0; r < n; r++ {
+				lt.Rmw(ctx, lapi.RmwFetchAndAdd, r, cAddrs[r], 1, 0, nil, org)
+				me := []byte{0, 0, 0, 0, 0, 0, 0, byte(lt.Self() + 1)}
+				lt.Put(ctx, r, sAddrs[r]+lapi.Addr(8*lt.Self()), me, lapi.NoCounter, nil, cmpl)
+			}
+			lt.Waitcntr(ctx, org, n)
+			lt.Waitcntr(ctx, cmpl, n)
+		}
+		lt.Gfence(ctx)
+		v, _ := lt.ReadInt64(counterVar)
+		finals[lt.Self()] = v
+		for r := 0; r < n; r++ {
+			s, _ := lt.ReadInt64(slots + lapi.Addr(8*r))
+			if s != int64(r+1) {
+				t.Errorf("rank %d slot %d = %d", lt.Self(), r, s)
+			}
+		}
+		lt.Barrier(ctx)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, v := range finals {
+		if v != 20*n {
+			t.Errorf("rank %d counter = %d, want %d", r, v, 20*n)
+		}
+	}
+}
+
+func TestEndpointMisuse(t *testing.T) {
+	addrs, err := tcpnet.LocalAddrs(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := [2]*exec.RealRuntime{exec.NewRealRuntime(), exec.NewRealRuntime()}
+	eps := [2]*tcpnet.Endpoint{}
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ep, err := tcpnet.Dial(rts[i], i, 2, addrs, 1024)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			eps[i] = ep
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := 0; i < 2; i++ {
+		eps[i].SetDeliver(func(int, []byte) {})
+	}
+
+	// Oversize packet panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("oversize send did not panic")
+			}
+		}()
+		eps[0].Send(nil, 1, make([]byte, 2048), nil)
+	}()
+
+	// Close is idempotent; sends after close are dropped, not crashes.
+	if err := eps[0].Close(); err != nil {
+		t.Error(err)
+	}
+	if err := eps[0].Close(); err != nil {
+		t.Error(err)
+	}
+	eps[0].Send(nil, 1, []byte("dropped"), nil)
+	eps[1].Close()
+	eps[0].Drain()
+	eps[1].Drain()
+}

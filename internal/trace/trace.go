@@ -1,0 +1,127 @@
+// Package trace provides a lightweight bounded event recorder for the
+// communication libraries. A Tracer can be attached to a LAPI task
+// (lapi.Config.Tracer); the protocol layer records operation initiations,
+// packet handling and handler invocations with their virtual timestamps,
+// giving a per-task timeline for debugging protocol behaviour —
+// out-of-order arrivals, handler interleavings, fence stalls.
+//
+// The recorder is a ring buffer: it never grows past its capacity, so it
+// can stay enabled for long benchmark runs at modest memory cost.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	// At is the time of the event (virtual time under the simulator).
+	At time.Duration
+	// Task is the rank the event happened on.
+	Task int
+	// Kind classifies the event (see the Kind* constants).
+	Kind string
+	// Detail is free-form context ("put 4096B -> 3", "hdr-handler id=2").
+	Detail string
+}
+
+// Event kinds recorded by the LAPI integration.
+const (
+	KindOp        = "op"        // operation initiated (put/get/amsend/rmw)
+	KindPacket    = "packet"    // packet handled by the dispatcher
+	KindHandler   = "handler"   // header/completion handler ran
+	KindCounter   = "counter"   // counter wait satisfied
+	KindFence     = "fence"     // fence entered/completed
+	KindInterrupt = "interrupt" // dispatcher woken by an interrupt
+)
+
+// Tracer is a bounded, concurrency-safe event recorder. The zero value is
+// a disabled tracer; create usable ones with New.
+type Tracer struct {
+	mu     sync.Mutex
+	events []Event
+	next   int
+	full   bool
+	seq    uint64
+}
+
+// New returns a tracer retaining the most recent capacity events.
+func New(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Tracer{events: make([]Event, capacity)}
+}
+
+// Record appends an event (dropping the oldest once full).
+func (t *Tracer) Record(at time.Duration, task int, kind, detail string) {
+	if t == nil || t.events == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events[t.next] = Event{At: at, Task: task, Kind: kind, Detail: detail}
+	t.next++
+	t.seq++
+	if t.next == len(t.events) {
+		t.next = 0
+		t.full = true
+	}
+}
+
+// Recordf is Record with formatting.
+func (t *Tracer) Recordf(at time.Duration, task int, kind, format string, args ...interface{}) {
+	if t == nil || t.events == nil {
+		return
+	}
+	t.Record(at, task, kind, fmt.Sprintf(format, args...))
+}
+
+// Events returns the retained events in chronological record order.
+func (t *Tracer) Events() []Event {
+	if t == nil || t.events == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Event
+	if t.full {
+		out = append(out, t.events[t.next:]...)
+	}
+	out = append(out, t.events[:t.next]...)
+	return out
+}
+
+// Len reports how many events have been recorded in total (including any
+// that have been evicted from the ring).
+func (t *Tracer) Len() uint64 {
+	if t == nil || t.events == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Filter returns retained events of the given kind.
+func (t *Tracer) Filter(kind string) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the retained timeline, one event per line.
+func (t *Tracer) String() string {
+	var b strings.Builder
+	for _, e := range t.Events() {
+		fmt.Fprintf(&b, "%12v task%-3d %-10s %s\n", e.At, e.Task, e.Kind, e.Detail)
+	}
+	return b.String()
+}
