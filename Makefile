@@ -1,0 +1,29 @@
+# Tier-1 gate: everything `make check` runs must stay green. The race
+# target limits -race to the real-runtime tests (goroutine-per-task over
+# TCP); the simulated runtime is single-threaded by construction, so
+# instrumenting the full suite buys nothing and triples its runtime.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race
+
+check: fmt vet build test race
+
+fmt:
+	@files=$$(gofmt -l .); \
+	if [ -n "$$files" ]; then \
+		echo "gofmt needed on:"; echo "$$files"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/tcpnet/ ./internal/exec/
+	$(GO) test -race -run 'TCP|Real' ./internal/collective/ ./internal/mpi/ ./internal/ga/

@@ -1,10 +1,11 @@
 // Command lapibench regenerates the paper's §4 microbenchmarks on the
-// simulated SP switch: Table 2 (latency), the pipeline-latency figures, and
-// Figure 2 (one-way bandwidth).
+// simulated SP switch: Table 2 (latency), the pipeline-latency figures,
+// Figure 2 (one-way bandwidth), plus sweeps beyond the paper — job-size
+// scaling and the one-sided collective comparison.
 //
 // Usage:
 //
-//	lapibench [-exp table2|pipeline|fig2|all]
+//	lapibench [-exp table2|pipeline|fig2|scale|collective|all] [-csv]
 package main
 
 import (
@@ -16,12 +17,19 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, pipeline, fig2, scale, all")
-	csv := flag.Bool("csv", false, "emit data series as CSV (fig2, scale)")
+	exp := flag.String("exp", "all", "experiment to run: table2, pipeline, fig2, scale, collective, all")
+	csv := flag.Bool("csv", false, "emit data series as CSV (fig2, scale, collective)")
 	flag.Parse()
 	log.SetFlags(0)
 
-	run := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+	run := func(name string) bool {
+		if *exp == "all" || *exp == name {
+			ran = true
+			return true
+		}
+		return false
+	}
 
 	if run("table2") {
 		t2, err := bench.MeasureTable2()
@@ -52,6 +60,18 @@ func main() {
 			fmt.Println()
 		}
 	}
+	if run("collective") {
+		pts, err := bench.MeasureCollective(bench.DefaultCollectiveTasks, bench.DefaultCollectiveSizes)
+		if err != nil {
+			log.Fatalf("collective: %v", err)
+		}
+		if *csv {
+			fmt.Print(bench.CSVCollective(pts))
+		} else {
+			fmt.Print(bench.FormatCollective(pts))
+			fmt.Println()
+		}
+	}
 	if run("fig2") {
 		pts, err := bench.MeasureFigure2(bench.Figure2Sizes())
 		if err != nil {
@@ -63,5 +83,8 @@ func main() {
 			fmt.Print(bench.FormatFigure2(pts))
 			fmt.Println("paper: LAPI asymptote ≈97 MB/s (half-peak ≈8 KB), MPI ≈98 MB/s (half-peak ≈23 KB)")
 		}
+	}
+	if !ran {
+		log.Fatalf("unknown experiment %q (want table2, pipeline, fig2, scale, collective or all)", *exp)
 	}
 }

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"golapi/internal/cluster"
+	"golapi/internal/collective"
+	"golapi/internal/exec"
+	"golapi/internal/lapi"
+	"golapi/internal/mpi"
+	"golapi/internal/switchnet"
+)
+
+// Collective sweep: one-sided collectives (package collective, built
+// purely on LAPI Put + counters) against the two-sided message-passing
+// allreduce, across message sizes and job sizes. This is the §6 story of
+// the paper quantified: higher-level operations layered on one-sided
+// primitives, with the algorithm crossover (ring vs recursive doubling)
+// playing the role MP_EAGER_LIMIT plays for point-to-point protocol
+// choice.
+
+// CollectivePoint is one (tasks, size) cell of the sweep: allreduce time
+// per call for each schedule.
+type CollectivePoint struct {
+	Tasks int
+	Size  int // payload bytes
+	// Ring is the LAPI ring (reduce-scatter + allgather) allreduce.
+	Ring time.Duration
+	// RecDbl is the LAPI recursive-doubling allreduce.
+	RecDbl time.Duration
+	// MPI is the two-sided recursive-doubling allreduce baseline.
+	MPI time.Duration
+	// Auto names the schedule AlgAuto picks at this size.
+	Auto string
+}
+
+// DefaultCollectiveTasks and DefaultCollectiveSizes are the default sweep.
+var (
+	DefaultCollectiveTasks = []int{4, 8}
+	DefaultCollectiveSizes = []int{8, 64, 4096, 32768, 131072, 262144}
+)
+
+const collReps = 8
+
+// MeasureCollective sweeps the allreduce schedules over tasks × sizes.
+func MeasureCollective(tasks, sizes []int) ([]CollectivePoint, error) {
+	var points []CollectivePoint
+	for _, n := range tasks {
+		for _, size := range sizes {
+			p, err := measureCollectiveAt(n, size)
+			if err != nil {
+				return nil, err
+			}
+			points = append(points, p)
+		}
+	}
+	return points, nil
+}
+
+func measureCollectiveAt(n, size int) (CollectivePoint, error) {
+	pt := CollectivePoint{Tasks: n, Size: size}
+	ccfg := collective.DefaultConfig()
+
+	// LAPI side: both schedules on one fresh cluster.
+	j, err := cluster.NewSimDefault(n)
+	if err != nil {
+		return pt, err
+	}
+	var ringT, rdT time.Duration
+	err = cluster.RunWithComm(j, ccfg, func(ctx exec.Context, t *lapi.Task, c *collective.Comm) {
+		if t.Self() == 0 {
+			pt.Auto = c.AlgFor(size).String()
+		}
+		buf := make([]byte, size)
+		for _, alg := range []collective.Alg{collective.AlgRing, collective.AlgRecursiveDoubling} {
+			if err := c.AllreduceAlg(ctx, buf, collective.OpSumU8, alg); err != nil {
+				panic(err) // warmup
+			}
+			if err := c.Barrier(ctx); err != nil {
+				panic(err)
+			}
+			start := ctx.Now()
+			for i := 0; i < collReps; i++ {
+				if err := c.AllreduceAlg(ctx, buf, collective.OpSumU8, alg); err != nil {
+					panic(err)
+				}
+			}
+			if t.Self() == 0 {
+				d := (ctx.Now() - start) / collReps
+				if alg == collective.AlgRing {
+					ringT = d
+				} else {
+					rdT = d
+				}
+			}
+			if err := c.Barrier(ctx); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if err != nil {
+		return pt, err
+	}
+	pt.Ring, pt.RecDbl = ringT, rdT
+
+	// Two-sided baseline: recursive-doubling allreduce over send/receive.
+	mj, err := cluster.NewSimMPI(n, switchnet.DefaultConfig(), mpi.DefaultConfig())
+	if err != nil {
+		return pt, err
+	}
+	var mpiT time.Duration
+	sum := func(dst, src []byte) {
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	}
+	err = mj.Run(func(ctx exec.Context, mt *mpi.Task) {
+		buf := make([]byte, size)
+		if err := mt.Allreduce(ctx, buf, sum); err != nil {
+			panic(err) // warmup
+		}
+		mt.Barrier(ctx)
+		start := ctx.Now()
+		for i := 0; i < collReps; i++ {
+			if err := mt.Allreduce(ctx, buf, sum); err != nil {
+				panic(err)
+			}
+		}
+		if mt.Self() == 0 {
+			mpiT = (ctx.Now() - start) / collReps
+		}
+		mt.Barrier(ctx)
+	})
+	if err != nil {
+		return pt, err
+	}
+	pt.MPI = mpiT
+	return pt, nil
+}
+
+// FormatCollective renders the sweep as a table.
+func FormatCollective(points []CollectivePoint) string {
+	s := "Allreduce: one-sided collectives vs two-sided message passing\n"
+	s += fmt.Sprintf("%-6s %-9s %12s %12s %12s %8s\n",
+		"tasks", "bytes", "ring[µs]", "recdbl[µs]", "mpi[µs]", "auto")
+	for _, p := range points {
+		s += fmt.Sprintf("%-6d %-9d %12.1f %12.1f %12.1f %8s\n",
+			p.Tasks, p.Size, us(p.Ring), us(p.RecDbl), us(p.MPI), p.Auto)
+	}
+	return s
+}
+
+// CSVCollective renders the sweep as CSV.
+func CSVCollective(points []CollectivePoint) string {
+	s := "tasks,bytes,ring_us,recdbl_us,mpi_us,auto\n"
+	for _, p := range points {
+		s += fmt.Sprintf("%d,%d,%.2f,%.2f,%.2f,%s\n",
+			p.Tasks, p.Size, us(p.Ring), us(p.RecDbl), us(p.MPI), p.Auto)
+	}
+	return s
+}

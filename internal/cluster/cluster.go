@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sync"
 
+	"golapi/internal/collective"
 	"golapi/internal/exec"
 	"golapi/internal/fabric"
 	"golapi/internal/lapi"
@@ -106,6 +107,29 @@ func (j *Job[T]) Run(main func(ctx exec.Context, t T)) error {
 		})
 	}
 	return j.Eng.Run()
+}
+
+// RunWithComm is Run with a collective.Comm constructed on every rank
+// before main is entered (communicator construction is itself collective,
+// so it must happen inside the job).
+func RunWithComm(j *Sim, ccfg collective.Config, main func(ctx exec.Context, t *lapi.Task, c *collective.Comm)) error {
+	var mu sync.Mutex
+	var commErr error
+	if err := j.Run(func(ctx exec.Context, t *lapi.Task) {
+		c, err := collective.New(ctx, t, ccfg)
+		if err != nil {
+			mu.Lock()
+			if commErr == nil {
+				commErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		main(ctx, t, c)
+	}); err != nil {
+		return err
+	}
+	return commErr
 }
 
 // TCPJob is a cluster of LAPI tasks over real TCP on this machine: one

@@ -1,0 +1,117 @@
+package collective
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Op is an element-wise reduction operator. Byte operators (element size
+// 1) work on buffers of any length; 8-byte operators require the buffer
+// length to be a multiple of 8 and interpret elements big-endian, matching
+// the Task.ReadInt64/WriteInt64 convention.
+//
+// All operators except OpSumF64 are exactly associative and commutative,
+// so every schedule (ring, recursive doubling, trees) produces bit-
+// identical results; OpSumF64 is commutative but its rounding depends on
+// the reduction order, so different schedules may differ in the last ulp
+// (every rank still agrees within one call).
+type Op int
+
+const (
+	// OpSumU8 is wrapping per-byte addition.
+	OpSumU8 Op = iota + 1
+	// OpMaxU8 is the per-byte maximum.
+	OpMaxU8
+	// OpXor is the per-byte exclusive or.
+	OpXor
+	// OpBor is the per-byte inclusive or.
+	OpBor
+	// OpSumI64 is wrapping int64 addition (8-byte big-endian elements).
+	OpSumI64
+	// OpSumF64 is float64 addition (8-byte big-endian elements).
+	OpSumF64
+	// OpMaxF64 is the float64 maximum (8-byte big-endian elements).
+	OpMaxF64
+)
+
+func (op Op) valid() bool { return op >= OpSumU8 && op <= OpMaxF64 }
+
+// ElemSize returns the operator's element width in bytes.
+func (op Op) ElemSize() int {
+	switch op {
+	case OpSumI64, OpSumF64, OpMaxF64:
+		return 8
+	default:
+		return 1
+	}
+}
+
+func (op Op) String() string {
+	switch op {
+	case OpSumU8:
+		return "sum-u8"
+	case OpMaxU8:
+		return "max-u8"
+	case OpXor:
+		return "xor"
+	case OpBor:
+		return "bor"
+	case OpSumI64:
+		return "sum-i64"
+	case OpSumF64:
+		return "sum-f64"
+	case OpMaxF64:
+		return "max-f64"
+	default:
+		return fmt.Sprintf("Op(%d)", int(op))
+	}
+}
+
+// Combine folds src into dst element-wise: dst = dst ⊕ src. The slices
+// must have equal length, a multiple of ElemSize.
+func (op Op) Combine(dst, src []byte) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("collective: Combine length mismatch: %d vs %d", len(dst), len(src)))
+	}
+	switch op {
+	case OpSumU8:
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	case OpMaxU8:
+		for i := range dst {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	case OpXor:
+		for i := range dst {
+			dst[i] ^= src[i]
+		}
+	case OpBor:
+		for i := range dst {
+			dst[i] |= src[i]
+		}
+	case OpSumI64:
+		for i := 0; i+8 <= len(dst); i += 8 {
+			a := int64(binary.BigEndian.Uint64(dst[i:]))
+			b := int64(binary.BigEndian.Uint64(src[i:]))
+			binary.BigEndian.PutUint64(dst[i:], uint64(a+b))
+		}
+	case OpSumF64:
+		for i := 0; i+8 <= len(dst); i += 8 {
+			a := math.Float64frombits(binary.BigEndian.Uint64(dst[i:]))
+			b := math.Float64frombits(binary.BigEndian.Uint64(src[i:]))
+			binary.BigEndian.PutUint64(dst[i:], math.Float64bits(a+b))
+		}
+	case OpMaxF64:
+		for i := 0; i+8 <= len(dst); i += 8 {
+			a := math.Float64frombits(binary.BigEndian.Uint64(dst[i:]))
+			b := math.Float64frombits(binary.BigEndian.Uint64(src[i:]))
+			binary.BigEndian.PutUint64(dst[i:], math.Float64bits(math.Max(a, b)))
+		}
+	default:
+		panic(fmt.Sprintf("collective: Combine on invalid op %d", int(op)))
+	}
+}

@@ -1,0 +1,195 @@
+package collective_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"golapi/internal/collective"
+	"golapi/internal/exec"
+	"golapi/internal/lapi"
+)
+
+// Property tests: every collective, under both allreduce schedules, across
+// task counts and payload sizes (including non-powers-of-two and lengths
+// smaller than the task count), must agree with a sequential reference
+// reduction. All the tested operators are exactly associative and
+// commutative, so equality is bitwise regardless of schedule.
+
+// fill writes the deterministic per-rank input pattern.
+func fill(buf []byte, rank, caseID int) {
+	for i := range buf {
+		buf[i] = byte(rank*37 + i*11 + caseID*101 + 3)
+	}
+}
+
+// reference reduces the inputs of all n ranks sequentially in rank order.
+func reference(op collective.Op, n, size, caseID int) []byte {
+	acc := make([]byte, size)
+	fill(acc, 0, caseID)
+	tmp := make([]byte, size)
+	for r := 1; r < n; r++ {
+		fill(tmp, r, caseID)
+		op.Combine(acc, tmp)
+	}
+	return acc
+}
+
+var propOps = []collective.Op{
+	collective.OpSumU8,
+	collective.OpMaxU8,
+	collective.OpXor,
+	collective.OpBor,
+	collective.OpSumI64,
+	collective.OpMaxF64,
+}
+
+func propSizes(op collective.Op) []int {
+	es := op.ElemSize()
+	sizes := []int{}
+	for _, elems := range []int{1, 3, 13, 100, 257, 1024, 8192} {
+		if es*elems <= 65536 {
+			sizes = append(sizes, es*elems)
+		}
+	}
+	return append(sizes, 65536) // 64 KiB, element-aligned for both widths
+}
+
+func TestPropAllreduce(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			cfg := collective.DefaultConfig()
+			caseID := 0
+			runColl(t, n, cfg, func(ctx exec.Context, tk *lapi.Task, c *collective.Comm) {
+				id := 0
+				for _, op := range propOps {
+					for _, size := range propSizes(op) {
+						for _, alg := range []collective.Alg{collective.AlgRing, collective.AlgRecursiveDoubling} {
+							id++
+							buf := make([]byte, size)
+							fill(buf, c.Rank(), id)
+							if err := c.AllreduceAlg(ctx, buf, op, alg); err != nil {
+								t.Errorf("n=%d op=%v size=%d alg=%v: %v", n, op, size, alg, err)
+								return
+							}
+							want := reference(op, n, size, id)
+							if !bytes.Equal(buf, want) {
+								t.Errorf("n=%d rank=%d op=%v size=%d alg=%v: mismatch", n, c.Rank(), op, size, alg)
+								return
+							}
+						}
+					}
+				}
+				if c.Rank() == 0 {
+					caseID = id
+				}
+			})
+			if caseID == 0 {
+				t.Fatal("no cases ran")
+			}
+		})
+	}
+}
+
+func TestPropReduceScatter(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			runColl(t, n, collective.DefaultConfig(), func(ctx exec.Context, tk *lapi.Task, c *collective.Comm) {
+				id := 1000
+				for _, op := range []collective.Op{collective.OpSumU8, collective.OpSumI64} {
+					for _, size := range propSizes(op) {
+						id++
+						buf := make([]byte, size)
+						fill(buf, c.Rank(), id)
+						lo, hi, err := c.ReduceScatter(ctx, buf, op)
+						if err != nil {
+							t.Errorf("n=%d op=%v size=%d: %v", n, op, size, err)
+							return
+						}
+						want := reference(op, n, size, id)
+						if !bytes.Equal(buf[lo:hi], want[lo:hi]) {
+							t.Errorf("n=%d rank=%d op=%v size=%d: segment [%d,%d) mismatch", n, c.Rank(), op, size, lo, hi)
+							return
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestPropBcastReduce(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			runColl(t, n, collective.DefaultConfig(), func(ctx exec.Context, tk *lapi.Task, c *collective.Comm) {
+				id := 2000
+				for _, size := range []int{1, 13, 100, 4096} {
+					for root := 0; root < n; root++ {
+						id++
+						buf := make([]byte, size)
+						if c.Rank() == root {
+							fill(buf, root, id)
+						}
+						if err := c.Bcast(ctx, root, buf); err != nil {
+							t.Errorf("bcast n=%d size=%d root=%d: %v", n, size, root, err)
+							return
+						}
+						want := make([]byte, size)
+						fill(want, root, id)
+						if !bytes.Equal(buf, want) {
+							t.Errorf("bcast n=%d rank=%d size=%d root=%d: mismatch", n, c.Rank(), size, root)
+							return
+						}
+
+						id++
+						rbuf := make([]byte, size)
+						fill(rbuf, c.Rank(), id)
+						if err := c.Reduce(ctx, root, rbuf, collective.OpSumU8); err != nil {
+							t.Errorf("reduce n=%d size=%d root=%d: %v", n, size, root, err)
+							return
+						}
+						if c.Rank() == root {
+							want := reference(collective.OpSumU8, n, size, id)
+							if !bytes.Equal(rbuf, want) {
+								t.Errorf("reduce n=%d size=%d root=%d: mismatch", n, size, root)
+								return
+							}
+						}
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestPropAllgather(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 8} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			runColl(t, n, collective.DefaultConfig(), func(ctx exec.Context, tk *lapi.Task, c *collective.Comm) {
+				id := 3000
+				for _, size := range []int{1, 3, 100, 2048} {
+					id++
+					contrib := make([]byte, size)
+					fill(contrib, c.Rank(), id)
+					out := make([]byte, n*size)
+					if err := c.Allgather(ctx, contrib, out); err != nil {
+						t.Errorf("n=%d size=%d: %v", n, size, err)
+						return
+					}
+					want := make([]byte, size)
+					for r := 0; r < n; r++ {
+						fill(want, r, id)
+						if !bytes.Equal(out[r*size:(r+1)*size], want) {
+							t.Errorf("n=%d rank=%d size=%d: slot %d mismatch", n, c.Rank(), size, r)
+							return
+						}
+					}
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,86 @@
+package collective
+
+import (
+	"golapi/internal/exec"
+	"golapi/internal/stats"
+)
+
+// Recursive doubling: the latency-optimal allreduce. Partners at doubling
+// distances exchange the full vector and reduce, so the whole operation is
+// ceil(log2 N) exchange steps. Non-power-of-two jobs fold the first
+// 2·(N-pow2) ranks into pairs first: odd ranks contribute their vector to
+// the even neighbour and sit out, then receive the final result (the
+// standard pre/post step, two extra latencies).
+//
+// Each exchange step k lands in mailbox slot k guarded by counter k, and
+// the fold/unfold steps use slots L and L+1, so out-of-order delivery
+// across steps cannot alias (partners differ per step and their sends are
+// causally unordered with each other).
+
+// realRank maps a virtual rank of the power-of-two group back to the job
+// rank: the first rem virtual ranks are the even survivors of the folded
+// pairs, the rest are the unpaired tail.
+func realRank(vr, rem int) int {
+	if vr < rem {
+		return 2 * vr
+	}
+	return vr + rem
+}
+
+// rdAllreduce runs recursive doubling in place on buf; on return every
+// rank holds the full reduction.
+func (c *Comm) rdAllreduce(ctx exec.Context, buf []byte, op Op) error {
+	pow2, l := 1, 0
+	for pow2*2 <= c.n {
+		pow2 *= 2
+		l++
+	}
+	rem := c.n - pow2
+	foldStep, unfoldStep := l, l+1
+
+	var vrank int
+	switch {
+	case c.rank < 2*rem && c.rank%2 == 1:
+		// Folded-out rank: contribute, then wait for the result.
+		if err := c.put(ctx, c.rank-1, foldStep, 0, buf, foldStep); err != nil {
+			return err
+		}
+		c.t.Counters.Add(stats.CollRDSteps, 1)
+		c.t.Counters.Add(stats.CollRDBytes, int64(len(buf)))
+		c.tracef("recdbl fold -> %d", c.rank-1)
+		c.wait(ctx, unfoldStep)
+		copy(buf, c.localSlot(unfoldStep, 0, len(buf)))
+		c.tracef("recdbl unfold result received")
+		return nil
+	case c.rank < 2*rem:
+		c.wait(ctx, foldStep)
+		op.Combine(buf, c.localSlot(foldStep, 0, len(buf)))
+		c.tracef("recdbl fold <- %d", c.rank+1)
+		vrank = c.rank / 2
+	default:
+		vrank = c.rank - rem
+	}
+
+	for k := 0; k < l; k++ {
+		partner := realRank(vrank^(1<<k), rem)
+		if err := c.put(ctx, partner, k, 0, buf, k); err != nil {
+			return err
+		}
+		c.wait(ctx, k)
+		op.Combine(buf, c.localSlot(k, 0, len(buf)))
+		c.t.Counters.Add(stats.CollRDSteps, 1)
+		c.t.Counters.Add(stats.CollRDBytes, int64(len(buf)))
+		c.tracef("recdbl step %d/%d partner %d", k+1, l, partner)
+	}
+
+	if c.rank < 2*rem {
+		// Surviving even rank: hand the result back to the folded peer.
+		if err := c.put(ctx, c.rank+1, unfoldStep, 0, buf, unfoldStep); err != nil {
+			return err
+		}
+		c.t.Counters.Add(stats.CollRDSteps, 1)
+		c.t.Counters.Add(stats.CollRDBytes, int64(len(buf)))
+		c.tracef("recdbl unfold -> %d", c.rank+1)
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package collective_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"golapi/internal/cluster"
+	"golapi/internal/collective"
+	"golapi/internal/exec"
+	"golapi/internal/lapi"
+)
+
+// TestRealTCPCollectives runs the collective suite over real TCP sockets
+// with one runtime per task — the configuration the race detector gate
+// exercises (go test -race -run Real). Three tasks keep the mesh small but
+// exercise the non-power-of-two fold in recursive doubling.
+func TestRealTCPCollectives(t *testing.T) {
+	const n = 3
+	j, err := cluster.NewTCPLAPI(n, lapi.ZeroCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Run(func(ctx exec.Context, tk *lapi.Task) {
+		cfg := collective.DefaultConfig()
+		cfg.MaxBytes = 1 << 16
+		c, err := collective.New(ctx, tk, cfg)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for iter := 0; iter < 3; iter++ {
+			for _, alg := range []collective.Alg{collective.AlgRing, collective.AlgRecursiveDoubling} {
+				buf := i64buf(int64(c.Rank()+1), int64(iter))
+				if err := c.AllreduceAlg(ctx, buf, collective.OpSumI64, alg); err != nil {
+					t.Error(err)
+					return
+				}
+				if got := int64(binary.BigEndian.Uint64(buf)); got != 6 {
+					t.Errorf("iter %d alg %v rank %d: sum = %d, want 6", iter, alg, c.Rank(), got)
+					return
+				}
+			}
+			root := iter % n
+			b := make([]byte, 100)
+			if c.Rank() == root {
+				fill(b, root, iter)
+			}
+			if err := c.Bcast(ctx, root, b); err != nil {
+				t.Error(err)
+				return
+			}
+			want := make([]byte, 100)
+			fill(want, root, iter)
+			if !bytes.Equal(b, want) {
+				t.Errorf("iter %d rank %d: bcast mismatch", iter, c.Rank())
+				return
+			}
+			contrib := []byte{byte(c.Rank()), byte(iter)}
+			out := make([]byte, n*2)
+			if err := c.Allgather(ctx, contrib, out); err != nil {
+				t.Error(err)
+				return
+			}
+			for r := 0; r < n; r++ {
+				if out[2*r] != byte(r) || out[2*r+1] != byte(iter) {
+					t.Errorf("iter %d rank %d: allgather slot %d = %v", iter, c.Rank(), r, out[2*r:2*r+2])
+					return
+				}
+			}
+			if err := c.Barrier(ctx); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package collective
+
+import (
+	"golapi/internal/exec"
+	"golapi/internal/stats"
+)
+
+// Ring schedules: the bandwidth-optimal allreduce decomposition into a
+// reduce-scatter pass followed by an allgather pass around the rank ring.
+// Each pass is N-1 steps; each step moves one vector segment to the ring
+// successor, so in total every rank sends 2·(N-1)/N of the vector —
+// asymptotically optimal — at the cost of 2(N-1) latencies.
+//
+// All data lands in the peer's slot-0 mailbox region at the segment's own
+// byte offset. Within one call every incoming segment has a distinct
+// offset and its own step counter, so out-of-order packet delivery cannot
+// alias two steps; across calls the parity half flips (see Comm.seq).
+
+// byteCuts partitions total bytes (a multiple of es) into n element-
+// aligned segments as evenly as possible: segment i is
+// [cut[i], cut[i+1]). Earlier segments take the remainder elements, so
+// non-power-of-two lengths and lengths smaller than n (empty tail
+// segments) are both handled.
+func byteCuts(total, es, n int) []int {
+	elems := total / es
+	base, extra := elems/n, elems%n
+	cut := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		cut[i+1] = cut[i] + base
+		if i < extra {
+			cut[i+1]++
+		}
+	}
+	for i := range cut {
+		cut[i] *= es
+	}
+	return cut
+}
+
+// ringReduceScatter runs the reduce-scatter pass: after N-1 steps rank r
+// holds the fully reduced segment (r+1) mod N in buf; other segments of
+// buf hold partial sums.
+func (c *Comm) ringReduceScatter(ctx exec.Context, buf []byte, op Op, cut []int) error {
+	succ := (c.rank + 1) % c.n
+	for s := 0; s < c.n-1; s++ {
+		sendSeg := mod(c.rank-s, c.n)
+		recvSeg := mod(c.rank-s-1, c.n)
+		sb, se := cut[sendSeg], cut[sendSeg+1]
+		if err := c.put(ctx, succ, 0, sb, buf[sb:se], s); err != nil {
+			return err
+		}
+		c.wait(ctx, s)
+		rb, re := cut[recvSeg], cut[recvSeg+1]
+		if re > rb {
+			op.Combine(buf[rb:re], c.localSlot(0, rb, re-rb))
+		}
+		c.t.Counters.Add(stats.CollRingSteps, 1)
+		c.t.Counters.Add(stats.CollRingBytes, int64(se-sb))
+		c.tracef("ring rs step %d/%d send seg %d recv seg %d", s+1, c.n-1, sendSeg, recvSeg)
+	}
+	return nil
+}
+
+// ringAllgatherFrom circulates fully-reduced segments around the ring,
+// starting from the segment this rank owns (start mod N): after N-1 steps
+// every rank holds every segment. Incoming segments are final data and are
+// copied, not reduced.
+func (c *Comm) ringAllgatherFrom(ctx exec.Context, buf []byte, cut []int, start int) error {
+	succ := (c.rank + 1) % c.n
+	for s := 0; s < c.n-1; s++ {
+		sendSeg := mod(start-s, c.n)
+		recvSeg := mod(start-s-1, c.n)
+		step := c.n - 1 + s
+		sb, se := cut[sendSeg], cut[sendSeg+1]
+		if err := c.put(ctx, succ, 0, sb, buf[sb:se], step); err != nil {
+			return err
+		}
+		c.wait(ctx, step)
+		rb, re := cut[recvSeg], cut[recvSeg+1]
+		if re > rb {
+			copy(buf[rb:re], c.localSlot(0, rb, re-rb))
+		}
+		c.t.Counters.Add(stats.CollRingSteps, 1)
+		c.t.Counters.Add(stats.CollRingBytes, int64(se-sb))
+		c.tracef("ring ag step %d/%d send seg %d recv seg %d", s+1, c.n-1, sendSeg, recvSeg)
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package collective
+
+import (
+	"fmt"
+
+	"golapi/internal/exec"
+	"golapi/internal/stats"
+)
+
+// Binomial trees for the rooted collectives. The tree is rooted by
+// rotating ranks so the root is virtual rank 0 (the same construction as
+// the message-passing baseline's Bcast, but every edge here is a single
+// one-sided Put into the child's or parent's mailbox plus a counter).
+
+// Bcast broadcasts buf from root: on every other rank buf is overwritten
+// with root's contents. Binomial-tree dissemination, ceil(log2 N) rounds
+// on the critical path.
+func (c *Comm) Bcast(ctx exec.Context, root int, buf []byte) error {
+	if root < 0 || root >= c.n {
+		return fmt.Errorf("collective: Bcast: root %d out of range [0,%d)", root, c.n)
+	}
+	if err := c.begin("bcast", "tree", len(buf)); err != nil {
+		return err
+	}
+	if c.n == 1 {
+		return nil
+	}
+	vrank := mod(c.rank-root, c.n)
+	// Receive once from the parent (every rank has exactly one incoming
+	// edge, so slot 0 / counter 0 serve every receiver)...
+	mask := 1
+	for mask < c.n {
+		if vrank&mask != 0 {
+			c.wait(ctx, 0)
+			copy(buf, c.localSlot(0, 0, len(buf)))
+			c.t.Counters.Add(stats.CollTreeSteps, 1)
+			c.tracef("bcast recv from parent %d", (vrank&^mask+root)%c.n)
+			break
+		}
+		mask <<= 1
+	}
+	// ...then forward to children below our bit.
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if child := vrank + mask; child < c.n {
+			dst := (child + root) % c.n
+			if err := c.put(ctx, dst, 0, 0, buf, 0); err != nil {
+				return err
+			}
+			c.t.Counters.Add(stats.CollTreeSteps, 1)
+			c.t.Counters.Add(stats.CollTreeBytes, int64(len(buf)))
+			c.tracef("bcast send to child %d", dst)
+		}
+	}
+	// Trees are not fully connected (a leaf's completion does not depend
+	// on other leaves), so unlike ring/recursive-doubling they need an
+	// explicit consumption fence before anyone may run ahead: the tree of
+	// the next same-parity call can be rooted differently, making a fast
+	// rank this rank's parent there. See sync.
+	return c.sync(ctx, c.treeSyncBase())
+}
+
+// treeSyncBase is the counter-index window for the tree collectives'
+// trailing sync, disjoint from their data rounds 0..ceilLog2(N)-1.
+func (c *Comm) treeSyncBase() int { return ceilLog2(c.n) }
+
+// Reduce combines buf element-wise across all ranks with op, leaving the
+// result in buf at root only. Other ranks' buffers are left untouched
+// (intermediate tree nodes accumulate in scratch memory). Binomial-tree
+// gather, ceil(log2 N) rounds.
+func (c *Comm) Reduce(ctx exec.Context, root int, buf []byte, op Op) error {
+	if root < 0 || root >= c.n {
+		return fmt.Errorf("collective: Reduce: root %d out of range [0,%d)", root, c.n)
+	}
+	if err := checkOp(op, buf); err != nil {
+		return err
+	}
+	if err := c.begin("reduce", "tree", len(buf)); err != nil {
+		return err
+	}
+	if c.n == 1 {
+		return nil
+	}
+	vrank := mod(c.rank-root, c.n)
+	acc := buf
+	if vrank != 0 {
+		acc = append([]byte(nil), buf...)
+	}
+	// Round k: ranks whose lowest set bit is 1<<k send their partial sum
+	// to the parent (vrank with that bit cleared) in slot/counter k;
+	// ranks still in the game absorb each child in round order. Distinct
+	// slots per round keep concurrent children from aliasing.
+	for k := 0; 1<<k < c.n; k++ {
+		mask := 1 << k
+		if vrank&mask != 0 {
+			parent := (vrank&^mask + root) % c.n
+			if err := c.put(ctx, parent, k, 0, acc, k); err != nil {
+				return err
+			}
+			c.t.Counters.Add(stats.CollTreeSteps, 1)
+			c.t.Counters.Add(stats.CollTreeBytes, int64(len(acc)))
+			c.tracef("reduce send round %d to parent %d", k, parent)
+			break
+		}
+		if child := vrank | mask; child < c.n {
+			c.wait(ctx, k)
+			op.Combine(acc, c.localSlot(k, 0, len(acc)))
+			c.t.Counters.Add(stats.CollTreeSteps, 1)
+			c.tracef("reduce absorb round %d from child %d", k, (child+root)%c.n)
+		}
+	}
+	// Consumption fence; see Bcast.
+	return c.sync(ctx, c.treeSyncBase())
+}

@@ -14,9 +14,10 @@ import (
 // must be called by every rank (standard collective semantics). Like
 // Barrier, they must not race wildcard (AnyTag) user receives.
 const (
-	tagBcast  = 0xFFFE
-	tagReduce = 0xFFFD
-	tagGather = 0xFFFC
+	tagBcast     = 0xFFFE
+	tagReduce    = 0xFFFD
+	tagGather    = 0xFFFC
+	tagAllreduce = 0xFFFB
 )
 
 // Bcast broadcasts buf from root to every rank: on non-roots, buf is
@@ -74,18 +75,107 @@ func (t *Task) ReduceSum(ctx exec.Context, root int, x float64) (float64, error)
 	return sum, nil
 }
 
-// AllreduceSum is ReduceSum followed by a broadcast of the result: every
-// rank receives the global sum.
+// Allreduce combines buf element-wise across all ranks, leaving the full
+// result in buf on every rank. combine folds a peer's contribution into
+// dst (dst = dst ⊕ src) and must be associative and commutative.
+//
+// The schedule is recursive doubling — partners at doubling distances
+// exchange full vectors, ceil(log2 N) rounds — the latency-optimal shape
+// and the fair baseline against one-sided collectives at small sizes.
+// Non-power-of-two jobs fold the first 2·(N-pow2) ranks into pairs first
+// (odd ranks contribute to their even neighbour and later receive the
+// result). A single reserved tag suffices: matching between one pair of
+// ranks is guaranteed in order, and every round's partner is distinct.
+func (t *Task) Allreduce(ctx exec.Context, buf []byte, combine func(dst, src []byte)) error {
+	n := t.N()
+	if n == 1 {
+		return nil
+	}
+	pow2 := 1
+	for pow2*2 <= n {
+		pow2 *= 2
+	}
+	rem := n - pow2
+	tmp := make([]byte, len(buf))
+
+	// exchange sends buf to peer and folds peer's vector into buf. The
+	// send must complete before buf is modified: the rendezvous protocol
+	// streams from the caller's buffer after the CTS arrives.
+	exchange := func(peer int) error {
+		sreq := t.isend(ctx, peer, tagAllreduce, buf)
+		if _, err := t.recvInternal(ctx, peer, tagAllreduce, tmp); err != nil {
+			return err
+		}
+		if _, err := t.Wait(ctx, sreq); err != nil {
+			return err
+		}
+		combine(buf, tmp)
+		return nil
+	}
+
+	var vrank int
+	switch {
+	case t.Self() < 2*rem && t.Self()%2 == 1:
+		// Folded-out rank: contribute, then wait for the result.
+		if err := t.sendInternal(ctx, t.Self()-1, tagAllreduce, buf); err != nil {
+			return err
+		}
+		_, err := t.recvInternal(ctx, t.Self()-1, tagAllreduce, buf)
+		return err
+	case t.Self() < 2*rem:
+		if _, err := t.recvInternal(ctx, t.Self()+1, tagAllreduce, tmp); err != nil {
+			return err
+		}
+		combine(buf, tmp)
+		vrank = t.Self() / 2
+	default:
+		vrank = t.Self() - rem
+	}
+
+	for dist := 1; dist < pow2; dist *= 2 {
+		vp := vrank ^ dist
+		peer := 2 * vp
+		if vp >= rem {
+			peer = vp + rem
+		}
+		if err := exchange(peer); err != nil {
+			return err
+		}
+	}
+
+	if t.Self() < 2*rem {
+		return t.sendInternal(ctx, t.Self()+1, tagAllreduce, buf)
+	}
+	return nil
+}
+
+// AllreduceSum computes the global sum of one float64 per rank on every
+// rank. By default it runs on the recursive-doubling Allreduce; with
+// Config.LinearAllreduce it is the original reduce-to-root followed by a
+// broadcast.
 func (t *Task) AllreduceSum(ctx exec.Context, x float64) (float64, error) {
-	sum, err := t.ReduceSum(ctx, 0, x)
-	if err != nil {
-		return 0, err
+	if t.cfg.LinearAllreduce {
+		sum, err := t.ReduceSum(ctx, 0, x)
+		if err != nil {
+			return 0, err
+		}
+		buf := make([]byte, 8)
+		if t.Self() == 0 {
+			binary.BigEndian.PutUint64(buf, math.Float64bits(sum))
+		}
+		if err := t.Bcast(ctx, 0, buf); err != nil {
+			return 0, err
+		}
+		return math.Float64frombits(binary.BigEndian.Uint64(buf)), nil
 	}
 	buf := make([]byte, 8)
-	if t.Self() == 0 {
-		binary.BigEndian.PutUint64(buf, math.Float64bits(sum))
-	}
-	if err := t.Bcast(ctx, 0, buf); err != nil {
+	binary.BigEndian.PutUint64(buf, math.Float64bits(x))
+	err := t.Allreduce(ctx, buf, func(dst, src []byte) {
+		s := math.Float64frombits(binary.BigEndian.Uint64(dst)) +
+			math.Float64frombits(binary.BigEndian.Uint64(src))
+		binary.BigEndian.PutUint64(dst, math.Float64bits(s))
+	})
+	if err != nil {
 		return 0, err
 	}
 	return math.Float64frombits(binary.BigEndian.Uint64(buf)), nil

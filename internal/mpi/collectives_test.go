@@ -6,6 +6,7 @@ import (
 
 	"golapi/internal/exec"
 	"golapi/internal/mpi"
+	"golapi/internal/switchnet"
 )
 
 func TestBcastAllRootsAllSizes(t *testing.T) {
@@ -98,4 +99,55 @@ func TestCollectiveValidation(t *testing.T) {
 			t.Error("Gather with short out buffer accepted")
 		}
 	})
+}
+
+func TestAllreduceVectorRecursiveDoubling(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			runMPIDefault(t, n, func(ctx exec.Context, mt *mpi.Task) {
+				buf := make([]byte, 37) // non-power-of-two length too
+				for i := range buf {
+					buf[i] = byte(mt.Self() + i)
+				}
+				err := mt.Allreduce(ctx, buf, func(dst, src []byte) {
+					for i := range dst {
+						dst[i] += src[i]
+					}
+				})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for i := range buf {
+					want := byte(n*i + n*(n-1)/2) // sum over ranks of r+i
+					if buf[i] != want {
+						t.Errorf("n=%d rank %d byte %d = %d, want %d", n, mt.Self(), i, buf[i], want)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+func TestAllreduceSumLinearKnob(t *testing.T) {
+	// Both schedules must produce the same global sum.
+	for _, linear := range []bool{false, true} {
+		linear := linear
+		t.Run(fmt.Sprintf("linear=%v", linear), func(t *testing.T) {
+			cfg := mpi.DefaultConfig()
+			cfg.LinearAllreduce = linear
+			runMPI(t, 7, switchnet.DefaultConfig(), cfg, func(ctx exec.Context, mt *mpi.Task) {
+				got, err := mt.AllreduceSum(ctx, float64(mt.Self()+1))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got != 28 {
+					t.Errorf("rank %d: sum = %g, want 28", mt.Self(), got)
+				}
+			})
+		})
+	}
 }

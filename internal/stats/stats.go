@@ -84,3 +84,18 @@ const (
 	HeaderHandlers = "header_handlers"
 	ComplHandlers  = "completion_handlers"
 )
+
+// Collective-layer counters (package collective): per-algorithm step,
+// byte and atomic-op accounting, so the cost attribution of the
+// Figure-2-style collective comparison is observable per task.
+const (
+	CollCalls        = "coll_calls"         // collective operations entered
+	CollRingSteps    = "coll_ring_steps"    // ring put+wait steps executed
+	CollRingBytes    = "coll_ring_bytes"    // bytes moved by ring steps
+	CollRDSteps      = "coll_rd_steps"      // recursive-doubling exchange steps
+	CollRDBytes      = "coll_rd_bytes"      // bytes moved by recursive doubling
+	CollTreeSteps    = "coll_tree_steps"    // binomial-tree edges traversed
+	CollTreeBytes    = "coll_tree_bytes"    // bytes moved along tree edges
+	CollBarrierSteps = "coll_barrier_steps" // barrier rounds (dissemination) or releases
+	CollRmwOps       = "coll_rmw_ops"       // FetchAndAdd ops issued (central barrier)
+)

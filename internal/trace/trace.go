@@ -36,6 +36,10 @@ const (
 	KindCounter   = "counter"   // counter wait satisfied
 	KindFence     = "fence"     // fence entered/completed
 	KindInterrupt = "interrupt" // dispatcher woken by an interrupt
+	// KindCollective is recorded by the collective layer (package
+	// collective): algorithm choice at operation entry and per-step
+	// phase transitions of ring / recursive-doubling / tree schedules.
+	KindCollective = "collective"
 )
 
 // Tracer is a bounded, concurrency-safe event recorder. The zero value is

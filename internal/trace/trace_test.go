@@ -6,8 +6,10 @@ import (
 	"time"
 
 	"golapi/internal/cluster"
+	"golapi/internal/collective"
 	"golapi/internal/exec"
 	"golapi/internal/lapi"
+	"golapi/internal/switchnet"
 	"golapi/internal/trace"
 )
 
@@ -121,5 +123,59 @@ func TestLAPIIntegration(t *testing.T) {
 			t.Fatalf("timeline went backwards on task %d: %v after %v", e.Task, e.At, last[e.Task])
 		}
 		last[e.Task] = e.At
+	}
+}
+
+// TestCollectiveIntegration attaches a tracer and checks the collective
+// layer records its algorithm choices and step transitions as
+// KindCollective events interleaved with the protocol-level timeline.
+func TestCollectiveIntegration(t *testing.T) {
+	tracer := trace.New(2048)
+	lcfg := lapi.DefaultConfig()
+	lcfg.Tracer = tracer
+	j, err := cluster.NewSim(3, switchnet.DefaultConfig(), lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = cluster.RunWithComm(j, collective.DefaultConfig(),
+		func(ctx exec.Context, lt *lapi.Task, c *collective.Comm) {
+			buf := make([]byte, 16)
+			if err := c.AllreduceAlg(ctx, buf, collective.OpSumU8, collective.AlgRing); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := c.Barrier(ctx); err != nil {
+				t.Error(err)
+				return
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evs := tracer.Filter(trace.KindCollective)
+	if len(evs) == 0 {
+		t.Fatal("no collective events recorded")
+	}
+	var sawChoice, sawRS, sawAG, sawSync bool
+	for _, e := range evs {
+		switch {
+		case strings.HasPrefix(e.Detail, "allreduce alg=ring"):
+			sawChoice = true
+		case strings.HasPrefix(e.Detail, "ring rs step"):
+			sawRS = true
+		case strings.HasPrefix(e.Detail, "ring ag step"):
+			sawAG = true
+		case strings.HasPrefix(e.Detail, "sync round"):
+			sawSync = true
+		}
+	}
+	if !sawChoice || !sawRS || !sawAG || !sawSync {
+		t.Errorf("missing events: choice=%v reduce-scatter=%v allgather=%v sync=%v",
+			sawChoice, sawRS, sawAG, sawSync)
+	}
+	// The collective layer rides on Puts, so protocol events must appear too.
+	if len(tracer.Filter(trace.KindOp)) == 0 {
+		t.Error("no protocol ops under the collective")
 	}
 }
