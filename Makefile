@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race
+.PHONY: check fmt vet build test race lint
 
-check: fmt vet build test race
+check: fmt vet build test race lint
 
 fmt:
 	@files=$$(gofmt -l .); \
@@ -27,3 +27,9 @@ test:
 race:
 	$(GO) test -race ./internal/tcpnet/ ./internal/exec/
 	$(GO) test -race -run 'TCP|Real' ./internal/collective/ ./internal/mpi/ ./internal/ga/
+
+# lapivet enforces the LAPI usage invariants the type system cannot see
+# (DESIGN.md "Usage invariants"): non-blocking header handlers, origin
+# buffer ownership, activity-local contexts, simulator determinism.
+lint:
+	$(GO) run ./cmd/lapivet ./...

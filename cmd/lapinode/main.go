@@ -77,12 +77,12 @@ func runDemo(ctx exec.Context, t *lapi.Task, demo string, reps int) {
 	case "pingpong":
 		small := []byte{1, 2, 3, 4}
 		if t.Self() == 0 {
-			start := time.Now()
+			start := ctx.Now()
 			for i := 0; i < reps; i++ {
 				t.Put(ctx, 1, addrs[1], small, ping.ID(), nil, nil)
 				t.Waitcntr(ctx, pong, 1)
 			}
-			fmt.Printf("rank 0: %d round trips, avg %v\n", reps, time.Since(start)/time.Duration(reps))
+			fmt.Printf("rank 0: %d round trips, avg %v\n", reps, (ctx.Now()-start)/time.Duration(reps))
 		} else if t.Self() == 1 {
 			for i := 0; i < reps; i++ {
 				t.Waitcntr(ctx, ping, 1)
@@ -95,14 +95,14 @@ func runDemo(ctx exec.Context, t *lapi.Task, demo string, reps int) {
 		if t.Self() == 0 {
 			data := make([]byte, size)
 			cmpl := t.NewCounter()
-			start := time.Now()
+			start := ctx.Now()
 			for i := 0; i < reps; i++ {
 				if err := t.Put(ctx, 1, addrs[1], data, lapi.NoCounter, nil, cmpl); err != nil {
 					log.Fatal(err)
 				}
 				t.Waitcntr(ctx, cmpl, 1)
 			}
-			el := time.Since(start)
+			el := ctx.Now() - start
 			fmt.Printf("rank 0: %d x %d B, %.1f MB/s\n", reps, size, float64(reps)*size/el.Seconds()/1e6)
 		}
 

@@ -1,0 +1,88 @@
+// Command lapivet runs the golapi static-analysis suite: vet-style passes
+// that enforce the LAPI usage invariants the compiler cannot see (see
+// internal/analysis and DESIGN.md "Usage invariants").
+//
+// Usage:
+//
+//	lapivet [-only pass[,pass]] [packages]
+//
+// Packages default to ./... relative to the enclosing module. The exit
+// status is 1 when any diagnostic is reported, so `make lint` gates CI.
+//
+// Per-line suppression: //lapivet:ignore pass[,pass] <reason>
+// (on the offending line or the line above).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"golapi/internal/analysis"
+	"golapi/internal/analysis/bufreuse"
+	"golapi/internal/analysis/ctxflow"
+	"golapi/internal/analysis/handlerblock"
+	"golapi/internal/analysis/simdeterminism"
+)
+
+var suite = []*analysis.Analyzer{
+	handlerblock.Analyzer,
+	bufreuse.Analyzer,
+	ctxflow.Analyzer,
+	simdeterminism.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset of passes to run")
+	list := flag.Bool("list", false, "list the available passes and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: lapivet [-only pass[,pass]] [packages]\n\npasses:\n")
+		for _, a := range suite {
+			fmt.Fprintf(os.Stderr, "  %-16s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := suite
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "lapivet: unknown pass %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	diags, fset, err := analysis.Run(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lapivet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Printf("%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "lapivet: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

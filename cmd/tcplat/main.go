@@ -43,12 +43,12 @@ func main() {
 		// Ping-pong latency, 4-byte puts.
 		small := []byte{1, 2, 3, 4}
 		if t.Self() == 0 {
-			start := time.Now()
+			start := ctx.Now()
 			for i := 0; i < *reps; i++ {
 				t.Put(ctx, 1, addrs[1], small, ping.ID(), nil, nil)
 				t.Waitcntr(ctx, pong, 1)
 			}
-			rt := time.Since(start) / time.Duration(*reps)
+			rt := (ctx.Now() - start) / time.Duration(*reps)
 			fmt.Printf("TCP 4-byte put round trip: %v (%d reps)\n", rt, *reps)
 		} else {
 			for i := 0; i < *reps; i++ {
@@ -63,14 +63,14 @@ func main() {
 			data := make([]byte, *size)
 			cmpl := t.NewCounter()
 			const bwReps = 32
-			start := time.Now()
+			start := ctx.Now()
 			for i := 0; i < bwReps; i++ {
 				if err := t.Put(ctx, 1, addrs[1], data, lapi.NoCounter, nil, cmpl); err != nil {
 					log.Fatal(err)
 				}
 				t.Waitcntr(ctx, cmpl, 1)
 			}
-			el := time.Since(start)
+			el := ctx.Now() - start
 			fmt.Printf("TCP put bandwidth (%d B msgs): %.1f MB/s\n",
 				*size, float64(*size)*bwReps/el.Seconds()/1e6)
 		} else {

@@ -1,0 +1,177 @@
+// Package analysis is a small, self-contained static-analysis framework in
+// the shape of golang.org/x/tools/go/analysis, built only on the standard
+// library so it works in hermetic build environments with no module cache.
+// It exists to host the lapivet passes (see cmd/lapivet), which enforce the
+// LAPI usage invariants of the paper's active-message model: header handlers
+// must not block (§5.3.1), origin buffers belong to the library until the
+// origin counter fires (§2.3), completion order is only visible through
+// counters and fences, and simulated code must not consult the wall clock.
+//
+// The API mirrors go/analysis closely (Analyzer, Pass, Reportf, analysistest
+// "want" comments) so that migrating to the real framework, should the
+// dependency ever become available, is mechanical.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis pass.
+type Analyzer struct {
+	// Name identifies the pass in diagnostics and lapivet:ignore comments.
+	Name string
+	// Doc is a one-paragraph description of what the pass reports.
+	Doc string
+	// Run applies the pass to one package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned within a file set.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// A Pass provides one analyzer run with a package and reporting.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	// Dep returns a module-internal dependency by import path (nil if the
+	// path is not a loaded module package). Interprocedural passes use it
+	// to follow calls across package boundaries.
+	Dep func(path string) *Package
+	// ModulePackages returns every loaded module package, the analyzed one
+	// included.
+	ModulePackages func() []*Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// TypeOf returns the type of expr in the analyzed package, or nil.
+func (p *Pass) TypeOf(expr ast.Expr) types.Type { return p.Pkg.Info.TypeOf(expr) }
+
+// Run loads the packages matching patterns (relative to a module found at or
+// above dir) and applies every analyzer to each, returning the surviving
+// diagnostics sorted by position. Diagnostics suppressed by lapivet:ignore
+// comments are dropped.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+	l, err := NewLoader(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	paths, err := l.Expand(patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	var pkgs []*Package
+	for _, path := range paths {
+		pkg, err := l.LoadPath(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		ds, err := RunPackage(l, pkg, analyzers)
+		if err != nil {
+			return nil, nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	return diags, l.Fset, nil
+}
+
+// RunPackage applies analyzers to one loaded package and filters ignored
+// diagnostics.
+func RunPackage(l *Loader, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     l.Fset,
+			Pkg:      pkg,
+			Dep:      func(path string) *Package { return l.pkgs[path] },
+			ModulePackages: func() []*Package {
+				return l.Loaded()
+			},
+			diags: &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	diags = filterIgnored(l.Fset, pkg, diags)
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Message < diags[j].Message
+	})
+	return diags, nil
+}
+
+// ignoreKey suppresses one analyzer (or every analyzer, for name "all") on
+// one source line.
+type ignoreKey struct {
+	file string
+	line int
+	name string
+}
+
+// filterIgnored drops diagnostics suppressed by "//lapivet:ignore name[,name]
+// [reason]" comments. A suppression applies to the comment's own line and to
+// the following line, so it works both trailing the offending statement and
+// standalone above it.
+func filterIgnored(fset *token.FileSet, pkg *Package, diags []Diagnostic) []Diagnostic {
+	ignored := make(map[ignoreKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "//lapivet:ignore")
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					ignored[ignoreKey{pos.Filename, pos.Line, name}] = true
+					ignored[ignoreKey{pos.Filename, pos.Line + 1, name}] = true
+				}
+			}
+		}
+	}
+	if len(ignored) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if ignored[ignoreKey{pos.Filename, pos.Line, d.Analyzer}] ||
+			ignored[ignoreKey{pos.Filename, pos.Line, "all"}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,340 @@
+// Package bufreuse statically enforces the paper's §2.3 origin-buffer
+// contract: the buffer handed to a non-blocking Put/Get/Amsend (and their
+// strided variants) belongs to the library until the operation's origin
+// counter fires. Writing to it earlier races with the transfer — on real
+// hardware, with the adapter's DMA; in the simulator, with the modelled
+// copy — and the runtime cannot detect it.
+//
+// The pass is a best-effort, flow-lite check: within each function body it
+// tracks (buffer variable, origin counter variable) pairs introduced by a
+// communication call whose origin-counter argument is non-nil, scans
+// statements in source order, and reports writes to a tracked buffer
+// (element stores, copy, append, re-slicing stores) that occur before a
+// Waitcntr/Getcntr/Setcntr on the associated counter or a Fence/Gfence/
+// Barrier. Branches share tracking state, so a wait on any path clears the
+// pair — the pass underreports rather than cry wolf.
+package bufreuse
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golapi/internal/analysis"
+)
+
+// Analyzer is the bufreuse pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "bufreuse",
+	Doc:  "report writes to an origin buffer before its origin counter is waited on",
+	Run:  run,
+}
+
+// commOp describes one LAPI data-moving call: which arguments are origin
+// buffers and which is the origin counter.
+type commOp struct {
+	bufArgs []int
+	cntrArg int
+}
+
+var commOps = map[string]commOp{
+	"Put":        {bufArgs: []int{3}, cntrArg: 5},
+	"Get":        {bufArgs: []int{3}, cntrArg: 5},
+	"Amsend":     {bufArgs: []int{3, 4}, cntrArg: 6},
+	"PutStrided": {bufArgs: []int{4}, cntrArg: 6},
+	"GetStrided": {bufArgs: []int{4}, cntrArg: 6},
+}
+
+// waitOps clear tracking for the counter in argument 1; fenceOps clear all
+// tracking (every outstanding origin buffer is reusable after a fence).
+var waitOps = map[string]bool{"Waitcntr": true, "Getcntr": true, "Setcntr": true}
+var fenceOps = map[string]bool{"Fence": true, "Gfence": true, "Barrier": true, "Close": true}
+
+func run(pass *analysis.Pass) error {
+	if pass.Lookup(analysis.LapiPath) == nil {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		// Each function body — declarations and literals alike — is checked
+		// independently; checker.scan does not descend into nested literals,
+		// so this traversal visits every body exactly once.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					c := &checker{pass: pass}
+					c.block(n.Body)
+				}
+			case *ast.FuncLit:
+				c := &checker{pass: pass}
+				c.block(n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// rec tracks one outstanding origin buffer.
+type rec struct {
+	buf  types.Object
+	cntr types.Object
+	op   string
+	line int
+}
+
+type checker struct {
+	pass    *analysis.Pass
+	pending []rec
+}
+
+// block processes a statement list in source order.
+func (c *checker) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		c.stmt(s)
+	}
+}
+
+// stmt dispatches one statement: expression parts are scanned for calls and
+// writes, nested blocks recurse with shared tracking state.
+func (c *checker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.block(s)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		c.scan(s.Cond)
+		c.block(s.Body)
+		if s.Else != nil {
+			c.stmt(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			c.scan(s.Cond)
+		}
+		c.block(s.Body)
+		if s.Post != nil {
+			c.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		c.scan(s.X)
+		c.block(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			c.scan(s.Tag)
+		}
+		for _, cc := range s.Body.List {
+			cl := cc.(*ast.CaseClause)
+			for _, e := range cl.List {
+				c.scan(e)
+			}
+			for _, bs := range cl.Body {
+				c.stmt(bs)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init)
+		}
+		for _, cc := range s.Body.List {
+			cl := cc.(*ast.CaseClause)
+			for _, bs := range cl.Body {
+				c.stmt(bs)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			cl := cc.(*ast.CommClause)
+			if cl.Comm != nil {
+				c.stmt(cl.Comm)
+			}
+			for _, bs := range cl.Body {
+				c.stmt(bs)
+			}
+		}
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt)
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Deferred and spawned work runs outside this statement sequence;
+		// out of scope for the flow-lite model.
+	default:
+		c.scan(s)
+	}
+}
+
+// scan inspects an expression or leaf statement for communication calls,
+// counter waits, and buffer writes, in syntactic order. Function literals
+// are skipped: their bodies run at an unknown time.
+func (c *checker) scan(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			c.call(n)
+		case *ast.AssignStmt:
+			c.assign(n)
+		case *ast.IncDecStmt:
+			if obj := c.writeTarget(n.X); obj != nil {
+				c.reportWrite(n.Pos(), obj)
+			}
+		}
+		return true
+	})
+}
+
+// call handles one call expression: comm ops start tracking, wait ops clear
+// it, copy into a tracked buffer is a write.
+func (c *checker) call(call *ast.CallExpr) {
+	info := c.pass.Pkg.Info
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "copy" && len(call.Args) == 2 {
+			if obj := c.writeTarget(call.Args[0]); obj != nil {
+				c.reportWrite(call.Pos(), obj)
+			}
+			return
+		}
+	}
+	fn := analysis.Callee(info, call)
+	if fn == nil {
+		return
+	}
+	name := fn.Name()
+	switch {
+	case analysis.IsMethodOf(fn, analysis.LapiPath, "Task", "Put", "Get", "Amsend", "PutStrided", "GetStrided"):
+		op := commOps[name]
+		cntr := c.objectIfIdent(call.Args[op.cntrArg])
+		if cntr == nil {
+			return // nil or non-trivial counter expression: not tracked
+		}
+		for _, i := range op.bufArgs {
+			if buf := c.objectIfIdent(call.Args[i]); buf != nil {
+				pos := c.pass.Fset.Position(call.Pos())
+				c.pending = append(c.pending, rec{buf: buf, cntr: cntr, op: name, line: pos.Line})
+			}
+		}
+	case analysis.IsMethodOf(fn, analysis.LapiPath, "Task", "Waitcntr", "Getcntr", "Setcntr"):
+		if len(call.Args) < 2 {
+			return
+		}
+		cntr := c.objectIfIdent(call.Args[1])
+		kept := c.pending[:0]
+		for _, r := range c.pending {
+			if cntr == nil || r.cntr != cntr {
+				kept = append(kept, r)
+			}
+		}
+		c.pending = kept
+	case analysis.IsMethodOf(fn, analysis.LapiPath, "Task", "Fence", "Gfence", "Barrier", "Close"):
+		c.pending = c.pending[:0]
+	}
+}
+
+// assign handles writes on the left-hand sides of an assignment.
+func (c *checker) assign(a *ast.AssignStmt) {
+	for _, lhs := range a.Lhs {
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr, *ast.SliceExpr:
+			if obj := c.writeTarget(l); obj != nil {
+				c.reportWrite(a.Pos(), obj)
+			}
+		case *ast.Ident:
+			obj := c.pass.Pkg.Info.ObjectOf(l)
+			if obj == nil || !c.tracked(obj) {
+				continue
+			}
+			// buf = append(buf, ...) may write the tracked backing array;
+			// any other rebinding just retires the tracked name.
+			if c.appendsTo(a.Rhs, obj) {
+				c.reportWrite(a.Pos(), obj)
+			} else {
+				c.clearBuf(obj)
+			}
+		}
+	}
+}
+
+// writeTarget resolves the base identifier of an index/slice expression if
+// its object is currently tracked.
+func (c *checker) writeTarget(e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj := c.pass.Pkg.Info.ObjectOf(x); obj != nil && c.tracked(obj) {
+				return obj
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// appendsTo reports whether any rhs is append(obj, ...).
+func (c *checker) appendsTo(rhs []ast.Expr, obj types.Object) bool {
+	for _, e := range rhs {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if b, ok := c.pass.Pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			continue
+		}
+		if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && c.pass.Pkg.Info.ObjectOf(arg) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) tracked(obj types.Object) bool {
+	for _, r := range c.pending {
+		if r.buf == obj {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) clearBuf(obj types.Object) {
+	kept := c.pending[:0]
+	for _, r := range c.pending {
+		if r.buf != obj {
+			kept = append(kept, r)
+		}
+	}
+	c.pending = kept
+}
+
+func (c *checker) objectIfIdent(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "nil" {
+		return nil
+	}
+	return c.pass.Pkg.Info.ObjectOf(id)
+}
+
+func (c *checker) reportWrite(pos token.Pos, obj types.Object) {
+	for _, r := range c.pending {
+		if r.buf == obj {
+			c.pass.Reportf(pos, "origin buffer %s of %s (line %d) written before Waitcntr/Getcntr on its origin counter %s: the buffer belongs to LAPI until the origin counter fires (§2.3)", obj.Name(), r.op, r.line, r.cntr.Name())
+			return
+		}
+	}
+}

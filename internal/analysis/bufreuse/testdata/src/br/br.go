@@ -1,0 +1,109 @@
+// Package br is the bufreuse golden test: writes to an origin buffer between
+// the non-blocking call that lends it to LAPI and the wait on its origin
+// counter must be flagged; writes after the wait (or after a fence) are
+// clean.
+package br
+
+import (
+	"golapi/internal/exec"
+	"golapi/internal/lapi"
+)
+
+// writeBeforeWait is the basic violation: the buffer is overwritten while
+// the Put may still be draining it.
+func writeBeforeWait(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
+	buf := make([]byte, 64)
+	org := t.NewCounter()
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, org, nil)
+	buf[0] = 1 // want `origin buffer buf of Put .* written before Waitcntr`
+	t.Waitcntr(ctx, org, 1)
+}
+
+// writeAfterWait is clean: the origin counter fired first.
+func writeAfterWait(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
+	buf := make([]byte, 64)
+	org := t.NewCounter()
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, org, nil)
+	t.Waitcntr(ctx, org, 1)
+	buf[0] = 1
+}
+
+// copyBeforeWait flags the copy builtin as a write.
+func copyBeforeWait(ctx exec.Context, t *lapi.Task, addr lapi.Addr, next []byte) {
+	buf := make([]byte, 64)
+	org := t.NewCounter()
+	t.Amsend(ctx, 1, 1, nil, buf, lapi.NoCounter, org, nil)
+	copy(buf, next) // want `origin buffer buf of Amsend .* written before Waitcntr`
+	t.Waitcntr(ctx, org, 1)
+}
+
+// getBufferWrite covers Get: the library writes into buf until org fires, so
+// user stores race with arriving data.
+func getBufferWrite(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
+	buf := make([]byte, 64)
+	org := t.NewCounter()
+	t.Get(ctx, 1, addr, buf, lapi.NoCounter, org)
+	buf[3] = 7 // want `origin buffer buf of Get .* written before Waitcntr`
+	t.Waitcntr(ctx, org, 1)
+}
+
+// appendBeforeWait may write the tracked backing array in place.
+func appendBeforeWait(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
+	buf := make([]byte, 8, 64)
+	org := t.NewCounter()
+	t.PutStrided(ctx, 1, addr, lapi.Stride{Blocks: 1, BlockBytes: 8, StrideBytes: 8}, buf, lapi.NoCounter, org, nil)
+	buf = append(buf, 9) // want `origin buffer buf of PutStrided .* written before Waitcntr`
+	t.Waitcntr(ctx, org, 1)
+}
+
+// fenceClears is clean: Fence completes every outstanding transfer.
+func fenceClears(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
+	buf := make([]byte, 64)
+	org := t.NewCounter()
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, org, nil)
+	t.Fence(ctx)
+	buf[0] = 1
+}
+
+// getcntrClears is clean for the flow-lite model: the counter was consulted
+// (typically in a poll loop) before the write.
+func getcntrClears(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
+	buf := make([]byte, 64)
+	org := t.NewCounter()
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, org, nil)
+	for t.Getcntr(ctx, org) < 1 {
+		t.Probe(ctx)
+	}
+	buf[0] = 1
+}
+
+// nilCounterUntracked is clean by design: with no origin counter the pass
+// has no completion event to anchor on (Fence is then the only fix).
+func nilCounterUntracked(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
+	buf := make([]byte, 64)
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, nil, nil)
+	buf[0] = 1
+}
+
+// otherCounterDoesNotClear: waiting on an unrelated counter leaves the
+// buffer lent out.
+func otherCounterDoesNotClear(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
+	buf := make([]byte, 64)
+	org := t.NewCounter()
+	other := t.NewCounter()
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, org, nil)
+	t.Waitcntr(ctx, other, 1)
+	buf[0] = 1 // want `origin buffer buf of Put .* written before Waitcntr`
+	t.Waitcntr(ctx, org, 1)
+}
+
+// rebindRetires is clean: pointing the name at a fresh slice leaves the
+// lent-out array untouched.
+func rebindRetires(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
+	buf := make([]byte, 64)
+	org := t.NewCounter()
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, org, nil)
+	buf = make([]byte, 64)
+	buf[0] = 1
+	t.Waitcntr(ctx, org, 1)
+}

@@ -1,0 +1,13 @@
+package ctxflow_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"golapi/internal/analysis/analysistest"
+	"golapi/internal/analysis/ctxflow"
+)
+
+func TestCtxflow(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "cf"), ctxflow.Analyzer)
+}

@@ -1,0 +1,86 @@
+// Package cf is the ctxflow golden test: exec.Context values that escape
+// their activity — struct fields, package variables, container elements,
+// goroutines, runtime callbacks — must be flagged; passing a context down
+// the call stack is clean.
+package cf
+
+import (
+	"golapi/internal/exec"
+)
+
+type session struct {
+	ctx  exec.Context
+	name string
+}
+
+var globalCtx exec.Context // want `exec\.Context held in package-level variable globalCtx`
+
+// fieldStore stashes a context in a struct field.
+func fieldStore(ctx exec.Context, s *session) {
+	s.ctx = ctx // want `exec\.Context stored in struct field ctx`
+}
+
+// literalStore stashes a context via a composite literal.
+func literalStore(ctx exec.Context) *session {
+	return &session{
+		ctx:  ctx, // want `exec\.Context stored in struct field ctx`
+		name: "s",
+	}
+}
+
+// globalStore writes a package-level variable.
+func globalStore(ctx exec.Context) {
+	globalCtx = ctx // want `exec\.Context stored in package-level variable globalCtx`
+}
+
+// mapStore stashes contexts in a map.
+func mapStore(ctx exec.Context, m map[string]exec.Context) {
+	m["a"] = ctx // want `exec\.Context stored in a map or slice element`
+}
+
+// goCapture hands the context to a raw goroutine.
+func goCapture(ctx exec.Context) {
+	go func() {
+		ctx.Sleep(0) // want `exec\.Context ctx captured by goroutine`
+	}()
+}
+
+// goArg passes the context as a goroutine argument.
+func goArg(ctx exec.Context) {
+	go use(ctx) // want `exec\.Context passed to a goroutine`
+}
+
+func use(ctx exec.Context) { ctx.Sleep(0) }
+
+// runtimeCapture leaks the outer context into a Runtime.Go activity, which
+// receives its own context and must use that one.
+func runtimeCapture(ctx exec.Context, rt exec.Runtime) {
+	rt.Go("worker", func(inner exec.Context) {
+		ctx.Sleep(0) // want `exec\.Context ctx captured by Runtime\.Go callback`
+	})
+}
+
+// afterCapture leaks the context into a timer callback.
+func afterCapture(ctx exec.Context, rt exec.Runtime, c exec.Cond) {
+	rt.After(0, func() {
+		ctx.Wait(c) // want `exec\.Context ctx captured by Runtime\.After callback`
+	})
+}
+
+// passDown is the blessed pattern: arguments down the call stack.
+func passDown(ctx exec.Context) {
+	use(ctx)
+}
+
+// ownContext is clean: the activity uses the context it was given.
+func ownContext(rt exec.Runtime) {
+	rt.Go("worker", func(ctx exec.Context) {
+		ctx.Sleep(0)
+	})
+}
+
+// localRebind is clean: a local variable on the same stack.
+func localRebind(ctx exec.Context) {
+	c := ctx
+	use(c)
+}

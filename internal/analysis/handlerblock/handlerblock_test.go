@@ -1,0 +1,13 @@
+package handlerblock_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"golapi/internal/analysis/analysistest"
+	"golapi/internal/analysis/handlerblock"
+)
+
+func TestHandlerblock(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "hb"), handlerblock.Analyzer)
+}

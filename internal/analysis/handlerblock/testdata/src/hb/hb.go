@@ -1,0 +1,114 @@
+// Package hb is the handlerblock golden test: header handlers that block —
+// directly, through helpers, through named methods, or through a captured
+// exec.Context — must be flagged; completion handlers and async callbacks
+// may block freely.
+package hb
+
+import (
+	"golapi/internal/exec"
+	"golapi/internal/lapi"
+)
+
+// directBlock calls a blocking op straight from the handler body.
+func directBlock(t *lapi.Task) {
+	t.RegisterHandler(func(tk *lapi.Task, info *lapi.AmInfo) (lapi.Addr, lapi.CompletionHandler) {
+		c := tk.NewCounter()
+		tk.Waitcntr(nil, c, 1) // want `header handler must not block: reaches \(\*Task\)\.Waitcntr`
+		return lapi.AddrNil, nil
+	})
+}
+
+// helperBlock reaches Fence through an intermediate function.
+func helperBlock(t *lapi.Task) {
+	t.RegisterHandler(func(tk *lapi.Task, info *lapi.AmInfo) (lapi.Addr, lapi.CompletionHandler) {
+		drainAll(tk) // want `header handler must not block: reaches \(\*Task\)\.Fence via drainAll`
+		return lapi.AddrNil, nil
+	})
+}
+
+func drainAll(t *lapi.Task) {
+	t.Fence(nil)
+}
+
+// server registers a named method as its handler.
+type server struct {
+	t *lapi.Task
+}
+
+func (s *server) handleSync(t *lapi.Task, info *lapi.AmInfo) (lapi.Addr, lapi.CompletionHandler) {
+	t.Barrier(nil)
+	return lapi.AddrNil, nil
+}
+
+func methodBlock(s *server) {
+	s.t.RegisterHandler(s.handleSync) // want `header handler must not block: reaches \(\*Task\)\.Barrier via handleSync`
+}
+
+// capturedWait blocks on the underlying primitive through a captured
+// context.
+func capturedWait(t *lapi.Task, ctx exec.Context, cond exec.Cond) {
+	t.RegisterHandler(func(tk *lapi.Task, info *lapi.AmInfo) (lapi.Addr, lapi.CompletionHandler) {
+		ctx.Wait(cond) // want `header handler must not block: reaches exec\.Context\.Wait`
+		return lapi.AddrNil, nil
+	})
+}
+
+// assignedHandler flows into a HeaderHandler-typed variable rather than a
+// RegisterHandler argument.
+func assignedHandler() {
+	var h lapi.HeaderHandler
+	h = func(tk *lapi.Task, info *lapi.AmInfo) (lapi.Addr, lapi.CompletionHandler) {
+		tk.GetSync(nil, 0, lapi.AddrNil, nil, lapi.NoCounter) // want `header handler must not block: reaches \(\*Task\)\.GetSync`
+		return lapi.AddrNil, nil
+	}
+	_ = h
+}
+
+// tableHandler flows through a composite-literal field.
+type dispatchEntry struct {
+	handler lapi.HeaderHandler
+}
+
+func tableHandler() dispatchEntry {
+	return dispatchEntry{
+		handler: func(tk *lapi.Task, info *lapi.AmInfo) (lapi.Addr, lapi.CompletionHandler) {
+			tk.ExchangeWord(nil, 0) // want `header handler must not block: reaches \(\*Task\)\.ExchangeWord`
+			return lapi.AddrNil, nil
+		},
+	}
+}
+
+// completionMayBlock is clean: the blocking work happens in the returned
+// completion handler, which runs off the dispatcher stack (§2.1 step 4).
+func completionMayBlock(t *lapi.Task) {
+	t.RegisterHandler(func(tk *lapi.Task, info *lapi.AmInfo) (lapi.Addr, lapi.CompletionHandler) {
+		buf := tk.Alloc(info.DataLen)
+		return buf, func(ctx exec.Context, t2 *lapi.Task) {
+			c := t2.NewCounter()
+			t2.Waitcntr(ctx, c, 1) // blocking is allowed here
+			t2.Fence(ctx)
+		}
+	})
+}
+
+// asyncMayBlock is clean: callbacks handed to the runtime leave the handler
+// stack before running.
+func asyncMayBlock(t *lapi.Task, rt exec.Runtime) {
+	t.RegisterHandler(func(tk *lapi.Task, info *lapi.AmInfo) (lapi.Addr, lapi.CompletionHandler) {
+		rt.Go("worker", func(ctx exec.Context) {
+			tk.Gfence(ctx) // blocking is allowed here
+		})
+		return lapi.AddrNil, nil
+	})
+}
+
+// nonBlockingOps is clean: non-blocking LAPI calls are legal in header
+// handlers.
+func nonBlockingOps(t *lapi.Task) {
+	t.RegisterHandler(func(tk *lapi.Task, info *lapi.AmInfo) (lapi.Addr, lapi.CompletionHandler) {
+		c := tk.NewCounter()
+		_ = tk.Getcntr(nil, c)
+		buf := tk.Alloc(info.DataLen)
+		return buf, nil
+	})
+}

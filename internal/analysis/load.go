@@ -1,0 +1,322 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	osexec "os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis. Module
+// packages are checked from source (analyzers need their syntax trees);
+// everything else — the standard library — is imported from compiler export
+// data, so the loader works in a hermetic build environment with no module
+// cache and no network.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the directory holding the package's source files.
+	Dir string
+	// Files are the parsed source files, sorted by file name. Test files
+	// (_test.go) are excluded: the invariants lapivet enforces concern
+	// shipped protocol code, and test packages would drag in import cycles.
+	Files []*ast.File
+	// Types and Info carry go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader resolves and type-checks packages. It is not safe for concurrent
+// use.
+type Loader struct {
+	Fset *token.FileSet
+	// ModuleRoot is the directory containing go.mod; ModulePath the module
+	// path declared there.
+	ModuleRoot string
+	ModulePath string
+
+	exports map[string]string // import path -> export data file
+	gc      types.Importer    // stdlib importer (export data)
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader builds a loader for the module rooted at or above dir.
+func NewLoader(dir string) (*Loader, error) {
+	root, modPath, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		Fset:       token.NewFileSet(),
+		ModuleRoot: root,
+		ModulePath: modPath,
+		exports:    make(map[string]string),
+		pkgs:       make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+	if err := l.indexExports("./..."); err != nil {
+		return nil, err
+	}
+	l.gc = importer.ForCompiler(l.Fset, "gc", l.lookupExport)
+	return l, nil
+}
+
+// findModule walks up from dir to the enclosing go.mod.
+func findModule(dir string) (root, path string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := dir; ; {
+		gomod := filepath.Join(d, "go.mod")
+		if data, err := os.ReadFile(gomod); err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if p, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(p), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: no module line in %s", gomod)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod at or above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// indexExports records the export-data file of every dependency of the given
+// patterns (in practice: the standard-library closure of the module), via
+// `go list -export`. The build cache satisfies this offline.
+func (l *Loader) indexExports(patterns ...string) error {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, patterns...)
+	cmd := osexec.Command("go", args...)
+	cmd.Dir = l.ModuleRoot
+	out, err := cmd.Output()
+	if err != nil {
+		msg := err.Error()
+		if ee, ok := err.(*osexec.ExitError); ok {
+			msg = string(ee.Stderr)
+		}
+		return fmt.Errorf("analysis: go list -export: %s", msg)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(out)))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+// lookupExport feeds export data to the gc importer, indexing lazily for
+// paths outside the already-listed dependency closure.
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		if err := l.indexExports(path); err != nil {
+			return nil, err
+		}
+		if file, ok = l.exports[path]; !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// Import implements types.Importer: module packages from source, the rest
+// from export data.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pkg, err := l.LoadPath(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.gc.Import(path)
+}
+
+// LoadPath loads and type-checks the module package with the given import
+// path.
+func (l *Loader) LoadPath(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+	return l.load(path, filepath.Join(l.ModuleRoot, filepath.FromSlash(rel)))
+}
+
+// LoadDir loads and type-checks the package in dir, which must lie inside
+// the module (this covers testdata packages the go tool itself ignores).
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("analysis: %s is outside module %s", dir, l.ModuleRoot)
+	}
+	path := l.ModulePath
+	if rel != "." {
+		path += "/" + filepath.ToSlash(rel)
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	return l.load(path, dir)
+}
+
+func (l *Loader) load(path, dir string) (*Package, error) {
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %q: %v", path, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var firstErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if firstErr == nil {
+				firstErr = err
+			}
+		},
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("analysis: type-checking %q: %v", path, firstErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %q: %v", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Loaded returns every module package loaded so far (analyzed packages and
+// their module-internal dependencies), sorted by import path. Interprocedural
+// passes use this to index function bodies across package boundaries.
+func (l *Loader) Loaded() []*Package {
+	pkgs := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		pkgs = append(pkgs, p)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs
+}
+
+// Expand resolves package patterns ("./...", "./cmd/lapivet", import paths)
+// to module import paths, skipping testdata and hidden directories exactly
+// as the go tool does.
+func (l *Loader) Expand(patterns []string) ([]string, error) {
+	var out []string
+	seen := make(map[string]bool)
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		switch {
+		case strings.HasSuffix(pat, "..."):
+			base := strings.TrimSuffix(pat, "...")
+			base = strings.TrimSuffix(base, "/")
+			if base == "." || base == "" {
+				base = "."
+			}
+			base = strings.TrimPrefix(base, "./")
+			root := filepath.Join(l.ModuleRoot, filepath.FromSlash(base))
+			err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if d.IsDir() {
+					name := d.Name()
+					if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+						return filepath.SkipDir
+					}
+					return nil
+				}
+				if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+					return nil
+				}
+				rel, err := filepath.Rel(l.ModuleRoot, filepath.Dir(p))
+				if err != nil {
+					return err
+				}
+				ip := l.ModulePath
+				if rel != "." {
+					ip += "/" + filepath.ToSlash(rel)
+				}
+				add(ip)
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(pat, l.ModulePath):
+			add(pat)
+		default:
+			rel := strings.TrimPrefix(pat, "./")
+			if rel == "." {
+				add(l.ModulePath)
+			} else {
+				add(l.ModulePath + "/" + filepath.ToSlash(rel))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

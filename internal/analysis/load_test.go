@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadModulePackages exercises the loader end to end: module discovery,
+// stdlib import via export data, and source type-checking of module packages
+// (including transitive module dependencies).
+func TestLoadModulePackages(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	if l.ModulePath != "golapi" {
+		t.Fatalf("module path = %q, want golapi", l.ModulePath)
+	}
+
+	pkg, err := l.LoadPath("golapi/internal/ga")
+	if err != nil {
+		t.Fatalf("LoadPath(ga): %v", err)
+	}
+	if pkg.Types.Name() != "ga" {
+		t.Errorf("package name = %q, want ga", pkg.Types.Name())
+	}
+	// ga depends on lapi, which must have been loaded from source too.
+	lapi := l.pkgs[LapiPath]
+	if lapi == nil {
+		t.Fatalf("lapi not loaded as a dependency of ga")
+	}
+	if lapi.Types.Scope().Lookup("HeaderHandler") == nil {
+		t.Errorf("lapi.HeaderHandler not found in loaded package scope")
+	}
+}
+
+func TestExpandPatterns(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	paths, err := l.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatalf("Expand: %v", err)
+	}
+	var haveLapi, haveCmd, haveTestdata bool
+	for _, p := range paths {
+		haveLapi = haveLapi || p == LapiPath
+		haveCmd = haveCmd || strings.HasPrefix(p, "golapi/cmd/")
+		haveTestdata = haveTestdata || strings.Contains(p, "testdata")
+	}
+	if !haveLapi || !haveCmd {
+		t.Errorf("Expand(./...) = %v: missing lapi or cmd packages", paths)
+	}
+	if haveTestdata {
+		t.Errorf("Expand(./...) includes testdata packages: %v", paths)
+	}
+}

@@ -1,0 +1,115 @@
+// Package simdeterminism statically guards the repeatability of the
+// discrete-event simulator (internal/exec's virtual clock). Packages that
+// run under the simulator — identified as those importing
+// golapi/internal/exec, which is the runtime-agnosticism seam — must not:
+//
+//   - consult or wait on the wall clock (time.Now, time.Sleep, time.Since,
+//     timers): virtual time comes from exec.Context/Runtime Now and Sleep,
+//     and wall-clock reads make simulated measurements meaningless and
+//     simulated schedules irreproducible;
+//   - issue communication while ranging over a map: Go randomizes map
+//     iteration order, so message injection order — and with it every
+//     downstream timestamp — changes run to run. Sort the keys first.
+//
+// Real-runtime-only code with a legitimate wall-clock need (e.g. a TCP
+// dial-retry backoff) opts out per line with
+// "//lapivet:ignore simdeterminism <reason>".
+package simdeterminism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golapi/internal/analysis"
+)
+
+// Analyzer is the simdeterminism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "simdeterminism",
+	Doc:  "report wall-clock use and map-ordered sends in packages that run under the simulated clock",
+	Run:  run,
+}
+
+// wallClockFuncs are the package-level time functions that read or wait on
+// the wall clock. Pure constructors/arithmetic (time.Duration conversions,
+// time.Unix) are fine.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// sendMethods are the lapi.Task methods that inject messages (directly or
+// via their blocking wrappers) plus the internal send helpers, so the pass
+// works inside internal/lapi itself.
+var sendMethods = []string{
+	"Put", "Get", "Amsend", "PutStrided", "GetStrided", "Rmw",
+	"PutSync", "GetSync", "AmsendSync", "RmwSync",
+	"sendControl", "sendChunked", "sendAckPacket",
+}
+
+func run(pass *analysis.Pass) error {
+	if !importsExec(pass.Pkg.Types) {
+		return nil // package cannot run under the simulator's clock
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkWallClock(pass, n)
+			case *ast.RangeStmt:
+				checkMapSend(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// importsExec reports whether pkg directly imports the runtime seam. The
+// exec package itself (which implements both clocks) never imports itself,
+// so it is exempt by construction.
+func importsExec(pkg *types.Package) bool {
+	for _, imp := range pkg.Imports() {
+		if imp.Path() == analysis.ExecPath {
+			return true
+		}
+	}
+	return false
+}
+
+// checkWallClock flags calls into package time that touch the wall clock.
+func checkWallClock(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.Callee(pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // methods like Timer.Stop follow from a flagged constructor
+	}
+	if wallClockFuncs[fn.Name()] {
+		pass.Reportf(call.Pos(), "wall clock (time.%s) in a package that runs under the simulated clock: use exec.Context/Runtime Now and Sleep so simulated runs stay deterministic", fn.Name())
+	}
+}
+
+// checkMapSend flags communication issued from inside a range over a map.
+func checkMapSend(pass *analysis.Pass, rng *ast.RangeStmt) {
+	t := pass.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.Callee(pass.Pkg.Info, call)
+		if analysis.IsMethodOf(fn, analysis.LapiPath, "Task", sendMethods...) ||
+			analysis.IsMethodOf(fn, "golapi/internal/fabric", "Transport", "Send") {
+			pass.Reportf(call.Pos(), "communication (%s) issued while ranging over a map: iteration order is randomized, making simulated message order irreproducible; iterate over sorted keys instead", fn.Name())
+		}
+		return true
+	})
+}

@@ -1,0 +1,20 @@
+package simdeterminism_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"golapi/internal/analysis/analysistest"
+	"golapi/internal/analysis/simdeterminism"
+)
+
+func TestSimdeterminism(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "sd"), simdeterminism.Analyzer)
+}
+
+// TestOutsideSimScope checks the import gate: a package that does not import
+// golapi/internal/exec never runs under the virtual clock, so wall-clock use
+// there is not the simulator's business.
+func TestOutsideSimScope(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "sdnoexec"), simdeterminism.Analyzer)
+}

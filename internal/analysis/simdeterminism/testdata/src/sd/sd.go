@@ -1,0 +1,59 @@
+// Package sd is the simdeterminism golden test: wall-clock reads and
+// map-ordered sends in a package that imports the exec runtime seam must be
+// flagged; virtual-clock use and deterministic iteration are clean.
+package sd
+
+import (
+	"sort"
+	"time"
+
+	"golapi/internal/exec"
+	"golapi/internal/lapi"
+)
+
+// wallClock reads and waits on the real clock.
+func wallClock() time.Duration {
+	start := time.Now()          // want `wall clock \(time\.Now\)`
+	time.Sleep(time.Millisecond) // want `wall clock \(time\.Sleep\)`
+	return time.Since(start)     // want `wall clock \(time\.Since\)`
+}
+
+// ignored shows the per-line escape hatch for real-runtime-only code.
+func ignored() {
+	time.Sleep(time.Millisecond) //lapivet:ignore simdeterminism test of the suppression mechanism
+}
+
+// virtualClock is clean: time flows from the activity's context.
+func virtualClock(ctx exec.Context) time.Duration {
+	start := ctx.Now()
+	ctx.Sleep(5 * time.Microsecond)
+	return ctx.Now() - start
+}
+
+// mapOrderSend injects messages in randomized map order.
+func mapOrderSend(ctx exec.Context, t *lapi.Task, bufs map[int][]byte) {
+	for dst, b := range bufs {
+		t.Put(ctx, dst, 0, b, lapi.NoCounter, nil, nil) // want `communication \(Put\) issued while ranging over a map`
+	}
+}
+
+// sortedSend is clean: deterministic iteration over sorted keys.
+func sortedSend(ctx exec.Context, t *lapi.Task, bufs map[int][]byte) {
+	keys := make([]int, 0, len(bufs))
+	for dst := range bufs {
+		keys = append(keys, dst)
+	}
+	sort.Ints(keys)
+	for _, dst := range keys {
+		t.Put(ctx, dst, 0, bufs[dst], lapi.NoCounter, nil, nil)
+	}
+}
+
+// mapRangeNoSend is clean: map iteration without communication.
+func mapRangeNoSend(bufs map[int][]byte) int {
+	n := 0
+	for _, b := range bufs {
+		n += len(b)
+	}
+	return n
+}

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Shared helpers for the lapivet passes. They encode the small amount of
+// golapi-specific type plumbing every pass needs: finding the lapi and exec
+// packages from an analyzed package, resolving static callees, and indexing
+// function bodies across the module for interprocedural walks.
+
+// Import paths the passes care about.
+const (
+	LapiPath = "golapi/internal/lapi"
+	ExecPath = "golapi/internal/exec"
+)
+
+// Lookup returns the types.Package for a module import path, whether it is
+// the analyzed package itself or any (transitive) dependency the loader has
+// seen. It returns nil when the package is not in the analyzed package's
+// import closure — passes treat that as "nothing to check".
+func (p *Pass) Lookup(path string) *types.Package {
+	if p.Pkg.Path == path {
+		return p.Pkg.Types
+	}
+	if dep := p.Dep(path); dep != nil {
+		// The loader only records packages reached while type-checking, so
+		// presence implies reachability.
+		return dep.Types
+	}
+	return nil
+}
+
+// NamedType returns the named type decl (by name) from the package at path,
+// or nil.
+func (p *Pass) NamedType(path, name string) types.Type {
+	pkg := p.Lookup(path)
+	if pkg == nil {
+		return nil
+	}
+	obj, ok := pkg.Scope().Lookup(name).(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	return obj.Type()
+}
+
+// Callee resolves the static callee of call in the given package, handling
+// plain calls (f(...)), selector calls (x.M(...)) and qualified calls
+// (pkg.F(...)). It returns nil for dynamic calls (function values, type
+// conversions, builtins).
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// IsMethodOf reports whether fn is a method named one of names on the type
+// recvName (value or pointer receiver) from the package at pkgPath. It also
+// matches interface methods (e.g. exec.Context.Wait).
+func IsMethodOf(fn *types.Func, pkgPath, recvName string, names ...string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != recvName {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncBody is a function body found somewhere in the module, together with
+// the package whose type info resolves identifiers inside it.
+type FuncBody struct {
+	Body *ast.BlockStmt
+	Pkg  *Package
+}
+
+// FuncIndex maps every named function and method declared in the loaded
+// module packages to its body, for interprocedural walks. Functions without
+// bodies (assembly stubs) are absent.
+func (p *Pass) FuncIndex() map[*types.Func]FuncBody {
+	idx := make(map[*types.Func]FuncBody)
+	for _, pkg := range p.ModulePackages() {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					idx[fn] = FuncBody{Body: fd.Body, Pkg: pkg}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// ObjectOf resolves an identifier or selector expression to the object it
+// denotes, or nil.
+func ObjectOf(info *types.Info, expr ast.Expr) types.Object {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}

@@ -26,6 +26,7 @@ func (t *Task) releaseCntr(c *Counter) {
 // PutSync is Put followed by a wait for target completion: when it
 // returns, the data is in place at the target.
 func (t *Task) PutSync(ctx exec.Context, tgt int, tgtAddr Addr, data []byte, tgtCntr RemoteCounter) error {
+	t.requireBlockingAllowed("PutSync")
 	c := t.blockingCntr()
 	defer t.releaseCntr(c)
 	if err := t.Put(ctx, tgt, tgtAddr, data, tgtCntr, nil, c); err != nil {
@@ -37,6 +38,7 @@ func (t *Task) PutSync(ctx exec.Context, tgt int, tgtAddr Addr, data []byte, tgt
 
 // GetSync is Get followed by a wait for the data to arrive.
 func (t *Task) GetSync(ctx exec.Context, tgt int, tgtAddr Addr, buf []byte, tgtCntr RemoteCounter) error {
+	t.requireBlockingAllowed("GetSync")
 	c := t.blockingCntr()
 	defer t.releaseCntr(c)
 	if err := t.Get(ctx, tgt, tgtAddr, buf, tgtCntr, c); err != nil {
@@ -49,6 +51,7 @@ func (t *Task) GetSync(ctx exec.Context, tgt int, tgtAddr Addr, buf []byte, tgtC
 // RmwSync performs the atomic operation and returns the previous value
 // once it is available.
 func (t *Task) RmwSync(ctx exec.Context, op RmwOp, tgt int, tgtVar Addr, inVal, comparand int64) (int64, error) {
+	t.requireBlockingAllowed("RmwSync")
 	c := t.blockingCntr()
 	defer t.releaseCntr(c)
 	var prev int64
@@ -62,6 +65,7 @@ func (t *Task) RmwSync(ctx exec.Context, op RmwOp, tgt int, tgtVar Addr, inVal, 
 // AmsendSync is Amsend followed by a wait for the target's completion
 // handler to finish.
 func (t *Task) AmsendSync(ctx exec.Context, tgt int, hdl HandlerID, uhdr, udata []byte, tgtCntr RemoteCounter) error {
+	t.requireBlockingAllowed("AmsendSync")
 	c := t.blockingCntr()
 	defer t.releaseCntr(c)
 	if err := t.Amsend(ctx, tgt, hdl, uhdr, udata, tgtCntr, nil, c); err != nil {

@@ -1,6 +1,8 @@
 package lapi_test
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -74,6 +76,56 @@ func TestBlockingWrapperErrors(t *testing.T) {
 		if _, err := lt.RmwSync(ctx, lapi.RmwOp(0), 1, lapi.AddrNil, 0, 0); err == nil {
 			t.Error("RmwSync with bad op succeeded")
 		}
+	})
+}
+
+// TestBlockingOpsPanicInHeaderHandler is the runtime backstop behind the
+// handlerblock static pass: every blocking entry point, called from a
+// header handler, must panic — and the message must name the op so the
+// report is actionable ("the header handler cannot block", §5.3.1). Each
+// guard fires before the op touches its context, so nil is fine here.
+func TestBlockingOpsPanicInHeaderHandler(t *testing.T) {
+	ops := []struct {
+		name string
+		call func(tk *lapi.Task)
+	}{
+		{"Waitcntr", func(tk *lapi.Task) { tk.Waitcntr(nil, tk.NewCounter(), 1) }},
+		{"Fence", func(tk *lapi.Task) { tk.Fence(nil) }},
+		{"Gfence", func(tk *lapi.Task) { tk.Gfence(nil) }},
+		{"Barrier", func(tk *lapi.Task) { tk.Barrier(nil) }},
+		{"ExchangeWord", func(tk *lapi.Task) { tk.ExchangeWord(nil, 1) }},
+		{"AddressInit", func(tk *lapi.Task) { tk.AddressInit(nil, lapi.AddrNil) }},
+		{"PutSync", func(tk *lapi.Task) { tk.PutSync(nil, 1, lapi.AddrNil, []byte("x"), lapi.NoCounter) }},
+		{"GetSync", func(tk *lapi.Task) { tk.GetSync(nil, 1, lapi.AddrNil, make([]byte, 1), lapi.NoCounter) }},
+		{"RmwSync", func(tk *lapi.Task) { tk.RmwSync(nil, lapi.RmwFetchAndAdd, 1, lapi.AddrNil, 1, 0) }},
+		{"AmsendSync", func(tk *lapi.Task) { tk.AmsendSync(nil, 1, lapi.HandlerID(0), nil, nil, lapi.NoCounter) }},
+	}
+	run(t, 2, func(ctx exec.Context, lt *lapi.Task) {
+		h := lt.RegisterHandler(func(tk *lapi.Task, info *lapi.AmInfo) (lapi.Addr, lapi.CompletionHandler) {
+			for _, op := range ops {
+				msg := func() (msg string) {
+					defer func() {
+						if r := recover(); r != nil {
+							msg = fmt.Sprint(r)
+						}
+					}()
+					op.call(tk)
+					return ""
+				}()
+				if msg == "" {
+					t.Errorf("%s inside a header handler did not panic", op.name)
+				} else if !strings.Contains(msg, op.name) || !strings.Contains(msg, "header handler") {
+					t.Errorf("%s panic message %q does not name the op", op.name, msg)
+				}
+			}
+			return lapi.AddrNil, nil
+		})
+		if lt.Self() == 0 {
+			cmpl := lt.NewCounter()
+			lt.Amsend(ctx, 1, h, []byte("u"), nil, lapi.NoCounter, nil, cmpl)
+			lt.Waitcntr(ctx, cmpl, 1)
+		}
+		lt.Gfence(ctx)
 	})
 }
 

@@ -66,6 +66,7 @@ func (t *Task) Barrier(ctx exec.Context) {
 // task must call it in the same order. Typically used right after setup to
 // publish base addresses of shared regions.
 func (t *Task) AddressInit(ctx exec.Context, local Addr) ([]Addr, error) {
+	t.requireBlockingAllowed("AddressInit")
 	words, err := t.ExchangeWord(ctx, uint64(local))
 	if err != nil {
 		return nil, err

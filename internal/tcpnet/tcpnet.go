@@ -161,7 +161,9 @@ func dialRetry(addr string) (net.Conn, error) {
 			return c, nil
 		}
 		lastErr = err
-		time.Sleep(5 * time.Millisecond)
+		// Dial-retry backoff during mesh bring-up: runs on a raw goroutine
+		// before any activity exists, and the transport is real-TCP only.
+		time.Sleep(5 * time.Millisecond) //lapivet:ignore simdeterminism dial backoff predates the runtime; TCP transport never runs simulated
 	}
 	return nil, lastErr
 }
