@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint
+.PHONY: check fmt vet build test race lint bench benchsmoke
 
-check: fmt vet build test race lint
+check: fmt vet build test race lint benchsmoke
 
 fmt:
 	@files=$$(gofmt -l .); \
@@ -33,3 +33,13 @@ race:
 # buffer ownership, activity-local contexts, simulator determinism.
 lint:
 	$(GO) run ./cmd/lapivet ./...
+
+# Wall-clock hot-path benchmarks (host-dependent, unlike the virtual-time
+# experiments). `make bench` runs the full suite and refreshes
+# BENCH_hotpath.json; benchsmoke is the sub-second CI run.
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./internal/sim/ ./internal/bench/
+	$(GO) run ./cmd/perfbench -o BENCH_hotpath.json
+
+benchsmoke:
+	$(GO) run ./cmd/perfbench -quick

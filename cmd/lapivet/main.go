@@ -23,6 +23,7 @@ import (
 	"golapi/internal/analysis/bufreuse"
 	"golapi/internal/analysis/ctxflow"
 	"golapi/internal/analysis/handlerblock"
+	"golapi/internal/analysis/poollifetime"
 	"golapi/internal/analysis/simdeterminism"
 )
 
@@ -31,6 +32,7 @@ var suite = []*analysis.Analyzer{
 	bufreuse.Analyzer,
 	ctxflow.Analyzer,
 	simdeterminism.Analyzer,
+	poollifetime.Analyzer,
 }
 
 func main() {

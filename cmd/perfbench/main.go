@@ -1,0 +1,52 @@
+// Command perfbench measures the harness's own wall-clock performance:
+// simulator events/sec, the Table 2 sweep's real runtime, real-TCP LAPI
+// message rate, and steady-state allocations per 4-byte Put. These are
+// host-dependent numbers (unlike the virtual-time experiments, which are
+// bit-identical across runs); EXPERIMENTS.md records before/after pairs.
+//
+// Usage:
+//
+//	perfbench [-quick] [-o BENCH_hotpath.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"golapi/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced iteration counts (CI smoke run)")
+	out := flag.String("o", "", "write the report as JSON to this file")
+	flag.Parse()
+	log.SetFlags(0)
+
+	r, err := bench.MeasureHotpath(*quick)
+	if err != nil {
+		log.Fatalf("perfbench: %v", err)
+	}
+
+	fmt.Printf("engine:  %.0f events/s (%.0f ns/event, %d events)\n",
+		r.EngineEventsPerSec, r.EngineNsPerEvent, r.EngineEvents)
+	fmt.Printf("table2:  %.1f ms wall-clock for the full sweep\n", r.Table2WallMs)
+	fmt.Printf("tcp:     %.0f msgs/s (4-byte PutSync, loopback), %.1f allocs/msg\n",
+		r.TCPMsgsPerSec, r.TCPAllocsPerMsg)
+	fmt.Printf("sim:     %.1f allocs/msg (4-byte PutSync, simulated switch)\n",
+		r.SimAllocsPerMsg)
+
+	if *out != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			log.Fatalf("perfbench: %v", err)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatalf("perfbench: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}

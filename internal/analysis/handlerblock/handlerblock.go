@@ -80,76 +80,7 @@ type reachResult struct {
 // handlerRoots returns the expressions at node n whose value becomes a
 // lapi.HeaderHandler.
 func (w *walker) handlerRoots(n ast.Node) []ast.Expr {
-	info := w.pass.Pkg.Info
-	var roots []ast.Expr
-	add := func(e ast.Expr, want types.Type) {
-		if want != nil && types.Identical(want, w.hh) {
-			roots = append(roots, e)
-		}
-	}
-	switch n := n.(type) {
-	case *ast.CallExpr:
-		if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
-			// Conversion lapi.HeaderHandler(f).
-			for _, arg := range n.Args {
-				add(arg, tv.Type)
-			}
-			return roots
-		}
-		sig, ok := info.TypeOf(n.Fun).(*types.Signature)
-		if !ok {
-			return nil
-		}
-		for i, arg := range n.Args {
-			pi := i
-			if sig.Variadic() && pi >= sig.Params().Len()-1 {
-				pi = sig.Params().Len() - 1
-			}
-			if pi < sig.Params().Len() {
-				pt := sig.Params().At(pi).Type()
-				if sl, ok := pt.(*types.Slice); ok && sig.Variadic() && pi == sig.Params().Len()-1 {
-					pt = sl.Elem()
-				}
-				add(arg, pt)
-			}
-		}
-	case *ast.AssignStmt:
-		for i, rhs := range n.Rhs {
-			if i < len(n.Lhs) {
-				add(rhs, info.TypeOf(n.Lhs[i]))
-			}
-		}
-	case *ast.ValueSpec:
-		for _, v := range n.Values {
-			if n.Type != nil {
-				add(v, info.TypeOf(n.Type))
-			}
-		}
-	case *ast.CompositeLit:
-		ct := info.TypeOf(n)
-		if ct == nil {
-			return nil
-		}
-		switch u := ct.Underlying().(type) {
-		case *types.Struct:
-			for _, elt := range n.Elts {
-				if kv, ok := elt.(*ast.KeyValueExpr); ok {
-					add(kv.Value, info.TypeOf(kv.Key))
-				}
-			}
-		case *types.Slice:
-			for _, elt := range n.Elts {
-				add(elt, u.Elem())
-			}
-		case *types.Map:
-			for _, elt := range n.Elts {
-				if kv, ok := elt.(*ast.KeyValueExpr); ok {
-					add(kv.Value, u.Elem())
-				}
-			}
-		}
-	}
-	return roots
+	return analysis.RootsOfType(w.pass.Pkg.Info, w.hh, n)
 }
 
 // checkRoot analyzes one handler-valued expression.

@@ -1,0 +1,304 @@
+// Package poollifetime statically enforces the wire-buffer ownership
+// contract (fabric.Transport: a delivered packet is valid only until the
+// dispatch upcall returns, then its buffer goes back to the transport's
+// pool). The AmInfo.UHdr slice handed to a header handler aliases that
+// pooled packet, so a handler that retains it — storing it in a field,
+// global, map or channel, or capturing it in a callback that outlives the
+// handler (the completion handler, a go statement, exec.Runtime.Go/After)
+// — reads recycled bytes later. The documented idiom is to copy first:
+// append([]byte(nil), info.UHdr...); the pass recognizes that (and any
+// other spread-append, which copies the bytes) as safe.
+//
+// The pass finds every function that flows into a lapi.HeaderHandler value
+// (the same roots handlerblock walks) and tracks aliases of info.UHdr
+// through local assignments, re-slicing, element appends and composite
+// literals. It is intraprocedural: a helper the slice is passed to is not
+// followed.
+package poollifetime
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"golapi/internal/analysis"
+)
+
+// Analyzer is the poollifetime pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "poollifetime",
+	Doc:  "report header handlers that retain the pooled AmInfo.UHdr packet slice past dispatch",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	hh := pass.NamedType(analysis.LapiPath, "HeaderHandler")
+	ai := pass.NamedType(analysis.LapiPath, "AmInfo")
+	if hh == nil || ai == nil {
+		return nil // package has no path to lapi: nothing to enforce
+	}
+	c := &checker{
+		pass:  pass,
+		hh:    hh,
+		info:  types.NewPointer(ai),
+		ch:    pass.NamedType(analysis.LapiPath, "CompletionHandler"),
+		decls: declIndex(pass),
+	}
+	seen := make(map[ast.Node]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			for _, root := range analysis.RootsOfType(pass.Pkg.Info, hh, n) {
+				c.checkRoot(root, seen)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type checker struct {
+	pass  *analysis.Pass
+	hh    types.Type // lapi.HeaderHandler
+	info  types.Type // *lapi.AmInfo
+	ch    types.Type // lapi.CompletionHandler
+	decls map[*types.Func]funcDecl
+}
+
+// funcDecl is a named function's declaration with the package whose type
+// info resolves it (named handlers may be declared in another module
+// package than the registration site).
+type funcDecl struct {
+	decl *ast.FuncDecl
+	pkg  *analysis.Package
+}
+
+// declIndex maps every named function in the module to its declaration
+// (FuncIndex keeps only bodies; the handler analysis also needs the
+// parameter list to find the *AmInfo argument).
+func declIndex(pass *analysis.Pass) map[*types.Func]funcDecl {
+	idx := make(map[*types.Func]funcDecl)
+	for _, pkg := range pass.ModulePackages() {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					idx[fn] = funcDecl{decl: fd, pkg: pkg}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// checkRoot analyzes one handler-valued expression: a function literal in
+// place, or a reference to a named function whose declaration is indexed.
+func (c *checker) checkRoot(root ast.Expr, seen map[ast.Node]bool) {
+	switch e := ast.Unparen(root).(type) {
+	case *ast.FuncLit:
+		if !seen[e] {
+			seen[e] = true
+			c.checkHandler(e.Type, e.Body, c.pass.Pkg)
+		}
+	default:
+		fn, _ := analysis.ObjectOf(c.pass.Pkg.Info, root).(*types.Func)
+		if fn == nil {
+			return
+		}
+		if fd, ok := c.decls[fn]; ok && !seen[fd.decl] {
+			seen[fd.decl] = true
+			c.checkHandler(fd.decl.Type, fd.decl.Body, fd.pkg)
+		}
+	}
+}
+
+// handlerScope is the per-handler analysis state.
+type handlerScope struct {
+	c       *checker
+	pkg     *analysis.Package
+	infoObj types.Object          // the *AmInfo parameter
+	aliases map[types.Object]bool // locals aliasing the pooled packet
+}
+
+// checkHandler analyzes one header-handler body.
+func (c *checker) checkHandler(ft *ast.FuncType, body *ast.BlockStmt, pkg *analysis.Package) {
+	h := &handlerScope{c: c, pkg: pkg, aliases: make(map[types.Object]bool)}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if obj := pkg.Info.Defs[name]; obj != nil && types.Identical(obj.Type(), c.info) {
+				h.infoObj = obj
+			}
+		}
+	}
+	if h.infoObj == nil {
+		return // unnamed or absent info parameter: nothing can alias UHdr
+	}
+	escaping := h.escapingFuncLits(body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if escaping[n] {
+			h.checkEscapingLit(n.(*ast.FuncLit))
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			h.checkAssign(n)
+		case *ast.SendStmt:
+			if h.aliasRooted(n.Value) {
+				h.report(n.Value.Pos(), "sent on a channel")
+			}
+		case *ast.GoStmt:
+			// Arguments evaluated now but used after the handler returns.
+			for _, arg := range n.Call.Args {
+				if h.aliasRooted(arg) {
+					h.report(arg.Pos(), "passed to a goroutine")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkAssign flags stores of pooled-packet aliases into locations that
+// outlive the handler, and tracks new local aliases.
+func (h *handlerScope) checkAssign(n *ast.AssignStmt) {
+	for i, rhs := range n.Rhs {
+		if i >= len(n.Lhs) || !h.aliasRooted(rhs) {
+			continue
+		}
+		switch lhs := ast.Unparen(n.Lhs[i]).(type) {
+		case *ast.Ident:
+			obj := h.pkg.Info.Defs[lhs]
+			if obj == nil {
+				obj = h.pkg.Info.Uses[lhs]
+			}
+			if obj == nil {
+				continue
+			}
+			if obj.Parent() == h.pkg.Types.Scope() {
+				h.report(rhs.Pos(), "stored in a package-level variable")
+				continue
+			}
+			h.aliases[obj] = true // local alias: track, don't flag
+		default:
+			// Field, map/slice element, or dereference: the destination's
+			// lifetime is unknown, assume it outlives the dispatch.
+			h.report(rhs.Pos(), "stored outside the handler's locals")
+		}
+	}
+}
+
+// checkEscapingLit flags any pooled-packet alias used inside a function
+// literal that runs after the header handler has returned.
+func (h *handlerScope) checkEscapingLit(lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if h.uhdrSelector(e) || h.aliasIdent(e) {
+			h.report(e.Pos(), "captured by a callback that outlives the handler")
+			return false
+		}
+		return true
+	})
+}
+
+func (h *handlerScope) report(pos token.Pos, how string) {
+	h.c.pass.Reportf(pos, "pooled packet slice (AmInfo.UHdr) %s: it is recycled when the dispatch returns — copy it first (append([]byte(nil), info.UHdr...))", how)
+}
+
+// aliasRooted reports whether expr's value aliases the pooled wire packet:
+// info.UHdr, a tracked local alias, a re-slice of either, an element
+// append (which stores the slice header), or a composite literal carrying
+// one.
+func (h *handlerScope) aliasRooted(expr ast.Expr) bool {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		return h.aliasIdent(e)
+	case *ast.SelectorExpr:
+		return h.uhdrSelector(e)
+	case *ast.SliceExpr:
+		return h.aliasRooted(e.X)
+	case *ast.CallExpr:
+		// append copies bytes when the alias is spread (safe); appending
+		// the slice itself as an element, or appending onto the alias,
+		// keeps the pooled pointer alive.
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok && id.Name == "append" && h.pkg.Info.Uses[id] == types.Universe.Lookup("append") {
+			if len(e.Args) > 0 && h.aliasRooted(e.Args[0]) {
+				return true
+			}
+			for _, arg := range e.Args[1:] {
+				if h.aliasRooted(arg) && !(e.Ellipsis.IsValid() && arg == e.Args[len(e.Args)-1]) {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			v := elt
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if h.aliasRooted(v) {
+				return true
+			}
+		}
+		return false
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return h.aliasRooted(e.X)
+		}
+	}
+	return false
+}
+
+// uhdrSelector reports whether e is info.UHdr on the handler's *AmInfo.
+func (h *handlerScope) uhdrSelector(e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "UHdr" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && h.pkg.Info.Uses[id] == h.infoObj
+}
+
+// aliasIdent reports whether e is an identifier tracked as an alias.
+func (h *handlerScope) aliasIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && h.aliases[h.pkg.Info.Uses[id]]
+}
+
+// escapingFuncLits collects function literals in body that run after the
+// handler returns: literals assignable to lapi.CompletionHandler, literals
+// spawned by a go statement, and literals handed to exec.Runtime.Go/After.
+func (h *handlerScope) escapingFuncLits(body *ast.BlockStmt) map[ast.Node]bool {
+	skip := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if h.c.ch != nil {
+				if t := h.pkg.Info.TypeOf(n); t != nil && types.AssignableTo(t, h.c.ch) {
+					skip[n] = true
+				}
+			}
+		case *ast.GoStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				skip[lit] = true
+			}
+		case *ast.CallExpr:
+			fn := analysis.Callee(h.pkg.Info, n)
+			if analysis.IsMethodOf(fn, analysis.ExecPath, "Runtime", "Go", "After") {
+				for _, arg := range n.Args {
+					if lit, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+						skip[lit] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return skip
+}

@@ -1,0 +1,13 @@
+package poollifetime_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"golapi/internal/analysis/analysistest"
+	"golapi/internal/analysis/poollifetime"
+)
+
+func TestPoollifetime(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "pl"), poollifetime.Analyzer)
+}

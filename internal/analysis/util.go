@@ -130,3 +130,80 @@ func ObjectOf(info *types.Info, expr ast.Expr) types.Object {
 	}
 	return nil
 }
+
+// RootsOfType returns the expressions at node n whose value flows into the
+// type want: call arguments (including conversions and variadic calls),
+// assignment right-hand sides, typed var initializers, and composite
+// literal elements. Passes use it to find every expression that becomes,
+// e.g., a lapi.HeaderHandler.
+func RootsOfType(info *types.Info, want types.Type, n ast.Node) []ast.Expr {
+	var roots []ast.Expr
+	add := func(e ast.Expr, t types.Type) {
+		if t != nil && types.Identical(t, want) {
+			roots = append(roots, e)
+		}
+	}
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		if tv, ok := info.Types[n.Fun]; ok && tv.IsType() {
+			// Conversion want(f).
+			for _, arg := range n.Args {
+				add(arg, tv.Type)
+			}
+			return roots
+		}
+		sig, ok := info.TypeOf(n.Fun).(*types.Signature)
+		if !ok {
+			return nil
+		}
+		for i, arg := range n.Args {
+			pi := i
+			if sig.Variadic() && pi >= sig.Params().Len()-1 {
+				pi = sig.Params().Len() - 1
+			}
+			if pi < sig.Params().Len() {
+				pt := sig.Params().At(pi).Type()
+				if sl, ok := pt.(*types.Slice); ok && sig.Variadic() && pi == sig.Params().Len()-1 {
+					pt = sl.Elem()
+				}
+				add(arg, pt)
+			}
+		}
+	case *ast.AssignStmt:
+		for i, rhs := range n.Rhs {
+			if i < len(n.Lhs) {
+				add(rhs, info.TypeOf(n.Lhs[i]))
+			}
+		}
+	case *ast.ValueSpec:
+		for _, v := range n.Values {
+			if n.Type != nil {
+				add(v, info.TypeOf(n.Type))
+			}
+		}
+	case *ast.CompositeLit:
+		ct := info.TypeOf(n)
+		if ct == nil {
+			return nil
+		}
+		switch u := ct.Underlying().(type) {
+		case *types.Struct:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					add(kv.Value, info.TypeOf(kv.Key))
+				}
+			}
+		case *types.Slice:
+			for _, elt := range n.Elts {
+				add(elt, u.Elem())
+			}
+		case *types.Map:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					add(kv.Value, u.Elem())
+				}
+			}
+		}
+	}
+	return roots
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"testing"
+
+	"golapi/internal/cluster"
+	"golapi/internal/exec"
+	"golapi/internal/lapi"
+)
+
+// Hot-path benchmarks: wall-clock and allocation cost of a synchronous
+// 4-byte Put on each runtime. Run via `make bench` (-benchmem); the
+// allocs/op column is the number the pooling work in this package's
+// perf.go report tracks.
+
+func BenchmarkSimPutSync(b *testing.B) {
+	j, err := cluster.NewSimDefault(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	err = j.Run(func(ctx exec.Context, t *lapi.Task) {
+		buf := t.Alloc(64)
+		addrs, aerr := t.AddressInit(ctx, buf)
+		if aerr != nil {
+			b.Error(aerr)
+			return
+		}
+		if t.Self() == 0 {
+			src := []byte{1, 2, 3, 4}
+			for i := 0; i < 32; i++ {
+				t.PutSync(ctx, 1, addrs[1], src, lapi.NoCounter)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.PutSync(ctx, 1, addrs[1], src, lapi.NoCounter)
+			}
+			b.StopTimer()
+		}
+		t.Gfence(ctx)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTCPPutSync(b *testing.B) {
+	j, err := cluster.NewTCPLAPI(2, lapi.ZeroCost())
+	if err != nil {
+		b.Fatal(err)
+	}
+	err = j.Run(func(ctx exec.Context, t *lapi.Task) {
+		buf := t.Alloc(64)
+		addrs, aerr := t.AddressInit(ctx, buf)
+		if aerr != nil {
+			b.Error(aerr)
+			return
+		}
+		if t.Self() == 0 {
+			src := []byte{1, 2, 3, 4}
+			for i := 0; i < 32; i++ {
+				t.PutSync(ctx, 1, addrs[1], src, lapi.NoCounter)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t.PutSync(ctx, 1, addrs[1], src, lapi.NoCounter)
+			}
+			b.StopTimer()
+		}
+		t.Gfence(ctx)
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}

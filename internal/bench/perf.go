@@ -1,0 +1,162 @@
+// perf.go measures the harness itself: wall-clock throughput of the hot
+// paths that PR "zero-allocation hot path" optimizes. Unlike the rest of
+// this package — which reports *virtual* time and must be bit-identical
+// run to run — these numbers are real seconds on the host machine, so they
+// vary with hardware and load. cmd/perfbench emits them as
+// BENCH_hotpath.json; EXPERIMENTS.md records a before/after pair.
+package bench
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"golapi/internal/cluster"
+	"golapi/internal/exec"
+	"golapi/internal/lapi"
+	"golapi/internal/sim"
+)
+
+// HotpathReport is the wall-clock benchmark suite's output, serialized to
+// BENCH_hotpath.json by cmd/perfbench.
+type HotpathReport struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Quick      bool   `json:"quick"` // reduced iteration counts (CI smoke run)
+
+	// Simulator event engine: schedule-then-drain of timer events, the
+	// inner loop of every virtual-time experiment.
+	EngineEvents       int     `json:"engine_events"`
+	EngineNsPerEvent   float64 `json:"engine_ns_per_event"`
+	EngineEventsPerSec float64 `json:"engine_events_per_sec"`
+
+	// Wall-clock time to reproduce the paper's Table 2 (the end-to-end
+	// sweep a developer waits on), in milliseconds.
+	Table2WallMs float64 `json:"table2_wall_ms"`
+
+	// Real-TCP loopback LAPI: 4-byte PutSync round trips.
+	TCPMsgs         int     `json:"tcp_msgs"`
+	TCPMsgsPerSec   float64 `json:"tcp_msgs_per_sec"`
+	TCPAllocsPerMsg float64 `json:"tcp_allocs_per_msg"`
+
+	// Simulated-switch LAPI: allocations per 4-byte PutSync.
+	SimAllocsPerMsg float64 `json:"sim_allocs_per_msg"`
+}
+
+// MeasureHotpath runs the wall-clock suite. quick shrinks iteration counts
+// to smoke-test levels (sub-second total) for make check.
+func MeasureHotpath(quick bool) (HotpathReport, error) {
+	r := HotpathReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      quick,
+	}
+	events, msgs, allocRuns := 2_000_000, 20_000, 200
+	if quick {
+		events, msgs, allocRuns = 100_000, 1_000, 50
+	}
+
+	r.EngineEvents = events
+	elapsed, err := engineEventRate(events)
+	if err != nil {
+		return r, err
+	}
+	r.EngineNsPerEvent = float64(elapsed.Nanoseconds()) / float64(events)
+	r.EngineEventsPerSec = float64(events) / elapsed.Seconds()
+
+	start := time.Now() //lapivet:ignore simdeterminism wall-clock harness benchmark; measures the simulator from outside
+	if _, err := MeasureTable2(); err != nil {
+		return r, err
+	}
+	r.Table2WallMs = float64(time.Since(start).Microseconds()) / 1e3 //lapivet:ignore simdeterminism wall-clock harness benchmark
+
+	r.TCPMsgs = msgs
+	tcpElapsed, tcpAllocs, err := tcpPutRate(msgs, allocRuns)
+	if err != nil {
+		return r, err
+	}
+	r.TCPMsgsPerSec = float64(msgs) / tcpElapsed.Seconds()
+	r.TCPAllocsPerMsg = tcpAllocs
+
+	if r.SimAllocsPerMsg, err = simPutAllocs(allocRuns); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// engineEventRate times scheduling and draining n no-op timer events on a
+// fresh engine (the BenchmarkScheduleAndRun shape).
+func engineEventRate(n int) (time.Duration, error) {
+	e := sim.NewEngine()
+	fn := func() {}
+	start := time.Now() //lapivet:ignore simdeterminism wall-clock harness benchmark; measures the simulator from outside
+	for i := 0; i < n; i++ {
+		e.Schedule(time.Duration(i), fn)
+	}
+	if err := e.Run(); err != nil {
+		return 0, err
+	}
+	return time.Since(start), nil //lapivet:ignore simdeterminism wall-clock harness benchmark
+}
+
+// tcpPutRate drives msgs synchronous 4-byte Puts between two real-TCP
+// loopback tasks, returning wall time for the timed run and the steady-
+// state allocation count per Put (origin-side, all goroutines).
+func tcpPutRate(msgs, allocRuns int) (elapsed time.Duration, allocsPerMsg float64, err error) {
+	j, err := cluster.NewTCPLAPI(2, lapi.ZeroCost())
+	if err != nil {
+		return 0, 0, err
+	}
+	err = j.Run(func(ctx exec.Context, t *lapi.Task) {
+		buf := t.Alloc(64)
+		addrs, aerr := t.AddressInit(ctx, buf)
+		if aerr != nil {
+			err = aerr
+			return
+		}
+		if t.Self() == 0 {
+			src := []byte{1, 2, 3, 4}
+			for i := 0; i < 32; i++ { // warm pools, maps, connections
+				t.PutSync(ctx, 1, addrs[1], src, lapi.NoCounter)
+			}
+			allocsPerMsg = testing.AllocsPerRun(allocRuns, func() {
+				t.PutSync(ctx, 1, addrs[1], src, lapi.NoCounter)
+			})
+			start := time.Now() //lapivet:ignore simdeterminism wall-clock harness benchmark; real-TCP path never runs simulated
+			for i := 0; i < msgs; i++ {
+				t.PutSync(ctx, 1, addrs[1], src, lapi.NoCounter)
+			}
+			elapsed = time.Since(start) //lapivet:ignore simdeterminism wall-clock harness benchmark
+		}
+		t.Gfence(ctx)
+	})
+	return elapsed, allocsPerMsg, err
+}
+
+// simPutAllocs measures steady-state allocations per synchronous 4-byte
+// Put on the simulated switch (two tasks, default SP parameters).
+func simPutAllocs(allocRuns int) (allocsPerMsg float64, err error) {
+	j, err := cluster.NewSimDefault(2)
+	if err != nil {
+		return 0, err
+	}
+	err = j.Run(func(ctx exec.Context, t *lapi.Task) {
+		buf := t.Alloc(64)
+		addrs, aerr := t.AddressInit(ctx, buf)
+		if aerr != nil {
+			err = aerr
+			return
+		}
+		if t.Self() == 0 {
+			src := []byte{1, 2, 3, 4}
+			for i := 0; i < 32; i++ {
+				t.PutSync(ctx, 1, addrs[1], src, lapi.NoCounter)
+			}
+			allocsPerMsg = testing.AllocsPerRun(allocRuns, func() {
+				t.PutSync(ctx, 1, addrs[1], src, lapi.NoCounter)
+			})
+		}
+		t.Gfence(ctx)
+	})
+	return allocsPerMsg, err
+}

@@ -48,6 +48,14 @@ func (r *RealRuntime) Post(fn func()) {
 	fn()
 }
 
+// PostPacket is Post specialized for packet delivery: it runs fn(src, data)
+// serialized without forcing the caller to allocate a closure per frame.
+func (r *RealRuntime) PostPacket(fn func(src int, data []byte), src int, data []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn(src, data)
+}
+
 // Go implements Runtime.
 func (r *RealRuntime) Go(name string, fn func(Context)) {
 	r.wg.Add(1)

@@ -11,11 +11,36 @@ import (
 	"golapi/internal/exec"
 )
 
+// Contract describes a transport's buffer-ownership behaviour. Protocol
+// layers consult it to skip defensive copies and recycle packet memory on
+// the hot path; the zero value (nothing pooled) is always safe to assume.
+type Contract struct {
+	// PooledDelivery means the slice handed to the deliver upcall is drawn
+	// from the transport's buffer pool: it is exclusively the receiver's
+	// until the receiver calls Release, after which the memory may back a
+	// future frame. Receivers that need the bytes longer must copy before
+	// releasing. When false, delivered slices are immutable history the
+	// transport may still alias (e.g. the simulated switch keeps them for
+	// retransmission) — never write to or recycle them, but retaining
+	// references is safe.
+	PooledDelivery bool
+	// PooledSend means buffers obtained from Alloc are recycled by the
+	// transport once written to the wire, so a steady-state sender
+	// allocates nothing. Send always takes ownership either way.
+	PooledSend bool
+}
+
 // Transport is one task's endpoint on the interconnect.
 //
 // Delivery is reliable but NOT necessarily ordered: packets between the same
 // pair of tasks may arrive out of order (the SP switch property the paper's
 // protocols are built around). Protocols needing FIFO (MPI) must resequence.
+//
+// Buffer ownership: a packet buffer is the producer's until handed over.
+// Senders build a packet (ideally in a buffer from Alloc), pass it to Send,
+// and must not touch it again. Receivers own a delivered slice for the
+// duration described by Contract: until Release on pooled transports,
+// forever (read-only) otherwise.
 type Transport interface {
 	// Self returns this endpoint's task id in [0, N).
 	Self() int
@@ -35,8 +60,23 @@ type Transport interface {
 	Send(ctx exec.Context, dst int, data []byte, sent func())
 	// SetDeliver installs the upcall invoked, serialized on the
 	// endpoint's runtime, for each arriving packet. Must be set before
-	// the first packet can arrive.
+	// the first packet can arrive. Ownership of data follows Contract:
+	// with PooledDelivery the receiver must Release it (and not touch it
+	// after); without, the slice is retained history and must not be
+	// written.
 	SetDeliver(fn func(src int, data []byte))
+	// Alloc returns a packet buffer of length n for building an outbound
+	// packet, drawn from the transport's pool when it has one (see
+	// Contract.PooledSend). Contents are unspecified — callers overwrite
+	// every byte they send.
+	Alloc(n int) []byte
+	// Release returns a delivered packet to the transport's pool. It is a
+	// no-op on unpooled transports; on pooled ones the caller must not
+	// touch pkt afterwards. Call it from the delivery path (serialized on
+	// the endpoint's runtime) once the packet has been consumed.
+	Release(pkt []byte)
+	// Contract reports the transport's buffer-ownership behaviour.
+	Contract() Contract
 	// Close releases transport resources.
 	Close() error
 }

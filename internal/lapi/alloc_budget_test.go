@@ -1,0 +1,54 @@
+//go:build !race
+
+// Allocation budget for the simulated-runtime hot path. Race-detector
+// builds are excluded: instrumentation changes allocation counts.
+
+package lapi_test
+
+import (
+	"testing"
+
+	"golapi/internal/cluster"
+	"golapi/internal/exec"
+	"golapi/internal/lapi"
+)
+
+// simPutAllocBudget bounds steady-state allocations per synchronous
+// 4-byte Put on the simulated switch. Measured 15.0 at the time the
+// pooling work landed (down from 48 before it); the budget leaves ~2x
+// headroom so toolchain drift doesn't flake, while still catching a
+// regression to the unpooled path.
+const simPutAllocBudget = 30.0
+
+func TestSimPutAllocBudget(t *testing.T) {
+	j, err := cluster.NewSimDefault(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var avg float64
+	err = j.Run(func(ctx exec.Context, lt *lapi.Task) {
+		buf := lt.Alloc(64)
+		addrs, aerr := lt.AddressInit(ctx, buf)
+		if aerr != nil {
+			t.Error(aerr)
+			return
+		}
+		if lt.Self() == 0 {
+			src := []byte{1, 2, 3, 4}
+			for i := 0; i < 32; i++ { // warm pools, free lists, message maps
+				lt.PutSync(ctx, 1, addrs[1], src, lapi.NoCounter)
+			}
+			avg = testing.AllocsPerRun(200, func() {
+				lt.PutSync(ctx, 1, addrs[1], src, lapi.NoCounter)
+			})
+		}
+		lt.Gfence(ctx)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg > simPutAllocBudget {
+		t.Errorf("sim 4-byte PutSync: %.1f allocs/op, budget %.1f — pooled hot path regressed", avg, simPutAllocBudget)
+	}
+	t.Logf("sim 4-byte PutSync: %.1f allocs/op (budget %.1f)", avg, simPutAllocBudget)
+}

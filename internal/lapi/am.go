@@ -85,7 +85,8 @@ func (t *Task) Amsend(ctx exec.Context, tgt int, hdl HandlerID, uhdr, udata []by
 	t.msgSeq++
 	id := t.msgSeq
 	t.tracef(trace.KindOp, "amsend hdl=%d uhdr=%dB data=%dB -> %d (msg %d)", hdl, len(uhdr), len(udata), tgt, id)
-	om := &outMsg{kind: ptAmHdr, dst: tgt, orgCntr: org, cmplCntr: cmpl, wantCmpl: cmpl != nil}
+	om := t.newOutMsg()
+	om.kind, om.dst, om.orgCntr, om.cmplCntr, om.wantCmpl = ptAmHdr, tgt, org, cmpl, cmpl != nil
 	t.outMsgs[id] = om
 	t.outstanding++
 
@@ -124,15 +125,18 @@ func (t *Task) Amsend(ctx exec.Context, tgt int, hdl HandlerID, uhdr, udata []by
 	remaining := npkts
 	var onWire func()
 	if !internal && om.orgCntr != nil {
+		// Capture the counter, not om: om may be recycled by an early ack
+		// before the transport reports the last packet drained.
+		org := om.orgCntr
 		onWire = func() {
 			remaining--
 			if remaining == 0 {
-				om.orgCntr.incr()
+				org.incr()
 			}
 		}
 	}
 
-	hh := &header{
+	hh := header{
 		typ:      ptAmHdr,
 		handler:  uint16(hdl),
 		msgID:    id,
@@ -140,11 +144,14 @@ func (t *Task) Amsend(ctx exec.Context, tgt int, hdl HandlerID, uhdr, udata []by
 		cntrA:    uint32(tgtCntr),
 		aux:      aux,
 	}
-	first := make([]byte, len(uhdr)+firstData)
-	copy(first, uhdr)
-	copy(first[len(uhdr):], udata[:firstData])
-	t.tr.Send(ctx, tgt, t.buildPacket(hh, first), onWire)
+	// uhdr and the first udata chunk gather directly into the wire buffer.
+	t.tr.Send(ctx, tgt, t.buildPacket2(&hh, uhdr, udata[:firstData]), onWire)
 
+	dh := header{
+		typ:      ptAmData,
+		msgID:    id,
+		totalLen: uint32(total),
+	}
 	for off := firstData; off < total; off += p {
 		end := off + p
 		if end > total {
@@ -153,13 +160,8 @@ func (t *Task) Amsend(ctx exec.Context, tgt int, hdl HandlerID, uhdr, udata []by
 		if t.cfg.SendOverhead > 0 {
 			ctx.Sleep(t.cfg.SendOverhead)
 		}
-		dh := &header{
-			typ:      ptAmData,
-			msgID:    id,
-			offset:   uint32(off),
-			totalLen: uint32(total),
-		}
-		t.tr.Send(ctx, tgt, t.buildPacket(dh, udata[off:end]), onWire)
+		dh.offset = uint32(off)
+		t.tr.Send(ctx, tgt, t.buildPacket(&dh, udata[off:end]), onWire)
 	}
 
 	if internal && om.orgCntr != nil {
@@ -175,7 +177,8 @@ func (t *Task) handleAm(src int, h header, payload []byte) {
 	key := inKey{src: src, msgID: h.msgID}
 	im := t.inMsgs[key]
 	if im == nil {
-		im = &inMsg{kind: ptAmHdr, total: int(h.totalLen)}
+		im = t.newInMsg()
+		im.kind, im.total = ptAmHdr, int(h.totalLen)
 		t.inMsgs[key] = im
 	}
 
@@ -208,21 +211,26 @@ func (t *Task) handleAm(src int, h header, payload []byte) {
 			im.buf = buf
 			copy(buf, data)
 			im.recvd += len(data)
-			// Drain any data packets that arrived before the header.
-			for _, s := range im.stash {
-				copy(buf[s.offset:], s.data)
-				im.recvd += len(s.data)
+			// Merge any data packets that arrived before the header, then
+			// hand their wire buffers back to the transport.
+			for i := range im.stash {
+				st := &im.stash[i]
+				copy(buf[st.offset:], st.data)
+				im.recvd += len(st.data)
+				t.tr.Release(st.pkt)
+				*st = stashed{}
 			}
-			im.stash = nil
+			im.stash = im.stash[:0]
 		}
 
 	case ptAmData:
 		if !im.hdrSeen {
-			// Header packet still in flight: stash a copy (the
-			// payload aliases the wire packet).
-			cp := make([]byte, len(payload))
-			copy(cp, payload)
-			im.stash = append(im.stash, stashed{offset: int(h.offset), data: cp})
+			// Header packet still in flight: keep the whole wire packet
+			// instead of copying the payload out, and tell the dispatcher
+			// not to release it yet. It goes back to the transport when
+			// the header arrives and the stash is merged.
+			im.stash = append(im.stash, stashed{offset: int(h.offset), data: payload, pkt: t.rxPkt})
+			t.rxRetain = true
 			return
 		}
 		copy(im.buf[h.offset:], payload)
@@ -244,7 +252,9 @@ func (t *Task) amComplete(src int, msgID uint32, im *inMsg) {
 	t.sendAckPacket(src, ptDataAck, msgID)
 	if im.complete == nil {
 		im.tgtCntr.incr()
-		if im.wantCmpl {
+		wantCmpl := im.wantCmpl
+		t.freeInMsg(im)
+		if wantCmpl {
 			t.sendAckPacket(src, ptCmplAck, msgID)
 		}
 		return
@@ -261,7 +271,9 @@ func (t *Task) amComplete(src int, msgID uint32, im *inMsg) {
 		t.complRunning--
 		t.complCond.Broadcast()
 		im.tgtCntr.incr()
-		if im.wantCmpl {
+		wantCmpl := im.wantCmpl
+		t.freeInMsg(im)
+		if wantCmpl {
 			t.sendAckPacket(src, ptCmplAck, msgID)
 		}
 	})

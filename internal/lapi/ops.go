@@ -38,19 +38,17 @@ func (t *Task) Put(ctx exec.Context, tgt int, tgtAddr Addr, data []byte, tgtCntr
 	t.msgSeq++
 	id := t.msgSeq
 	t.tracef(trace.KindOp, "put %dB -> %d (msg %d)", len(data), tgt, id)
-	om := &outMsg{kind: ptPutData, dst: tgt, orgCntr: org, cmplCntr: cmpl}
+	om := t.newOutMsg()
+	om.kind, om.dst, om.orgCntr, om.cmplCntr = ptPutData, tgt, org, cmpl
 	t.outMsgs[id] = om
 	t.outstanding++
 
-	t.sendChunked(ctx, tgt, data, om, func(offset int, chunk []byte) *header {
-		return &header{
-			typ:      ptPutData,
-			msgID:    id,
-			offset:   uint32(offset),
-			totalLen: uint32(len(data)),
-			addr:     uint64(tgtAddr),
-			cntrA:    uint32(tgtCntr),
-		}
+	t.sendChunked(ctx, tgt, data, om, header{
+		typ:      ptPutData,
+		msgID:    id,
+		totalLen: uint32(len(data)),
+		addr:     uint64(tgtAddr),
+		cntrA:    uint32(tgtCntr),
 	})
 	return nil
 }
@@ -75,18 +73,18 @@ func (t *Task) Get(ctx exec.Context, tgt int, tgtAddr Addr, buf []byte, tgtCntr 
 	t.msgSeq++
 	id := t.msgSeq
 	t.tracef(trace.KindOp, "get %dB <- %d (msg %d)", len(buf), tgt, id)
-	om := &outMsg{kind: ptGetReq, dst: tgt, orgCntr: org, getBuf: buf}
+	om := t.newOutMsg()
+	om.kind, om.dst, om.orgCntr, om.getBuf = ptGetReq, tgt, org, buf
 	t.outMsgs[id] = om
 	t.outstanding++
 
-	h := &header{
+	t.sendControl(ctx, tgt, header{
 		typ:      ptGetReq,
 		msgID:    id,
 		totalLen: uint32(len(buf)),
 		addr:     uint64(tgtAddr),
 		cntrA:    uint32(tgtCntr),
-	}
-	t.sendControl(ctx, tgt, h)
+	})
 	return nil
 }
 
@@ -103,7 +101,10 @@ func (t *Task) checkTarget(tgt int) error {
 // are copied into internal buffers (origin counter fires immediately,
 // §5.3.1); large ones are zero-copy (origin counter fires when the adapter
 // drains the last packet).
-func (t *Task) sendChunked(ctx exec.Context, tgt int, data []byte, om *outMsg, mkHeader func(offset int, chunk []byte) *header) {
+// The header template h is taken by value and stamped with each chunk's
+// offset, so no per-packet header (or header-building closure) is
+// allocated.
+func (t *Task) sendChunked(ctx exec.Context, tgt int, data []byte, om *outMsg, h header) {
 	p := t.maxPayload()
 	total := len(data)
 
@@ -128,10 +129,13 @@ func (t *Task) sendChunked(ctx exec.Context, tgt int, data []byte, om *outMsg, m
 	remaining := npkts
 	var onWire func()
 	if !internal && om.orgCntr != nil {
+		// Capture the counter, not om: om may be recycled by an early ack
+		// before the transport reports the last packet drained.
+		org := om.orgCntr
 		onWire = func() {
 			remaining--
 			if remaining == 0 {
-				om.orgCntr.incr()
+				org.incr()
 			}
 		}
 	}
@@ -145,8 +149,8 @@ func (t *Task) sendChunked(ctx exec.Context, tgt int, data []byte, om *outMsg, m
 		if t.cfg.SendOverhead > 0 {
 			ctx.Sleep(t.cfg.SendOverhead)
 		}
-		h := mkHeader(off, data[off:end])
-		t.tr.Send(ctx, tgt, t.buildPacket(h, data[off:end]), onWire)
+		h.offset = uint32(off)
+		t.tr.Send(ctx, tgt, t.buildPacket(&h, data[off:end]), onWire)
 	}
 
 	if internal && om.orgCntr != nil {
@@ -161,12 +165,11 @@ func (t *Task) handlePutData(src int, h header, payload []byte) {
 	key := inKey{src: src, msgID: h.msgID}
 	im := t.inMsgs[key]
 	if im == nil {
-		im = &inMsg{
-			kind:    ptPutData,
-			total:   int(h.totalLen),
-			tgtAddr: Addr(h.addr),
-			tgtCntr: t.counterByID(RemoteCounter(h.cntrA)),
-		}
+		im = t.newInMsg()
+		im.kind = ptPutData
+		im.total = int(h.totalLen)
+		im.tgtAddr = Addr(h.addr)
+		im.tgtCntr = t.counterByID(RemoteCounter(h.cntrA))
 		t.inMsgs[key] = im
 	}
 	if len(payload) > 0 {
@@ -180,6 +183,7 @@ func (t *Task) handlePutData(src int, h header, payload []byte) {
 	if im.recvd >= im.total {
 		delete(t.inMsgs, key)
 		im.tgtCntr.incr()
+		t.freeInMsg(im)
 		// Acknowledge data arrival: completes the origin's fence
 		// accounting and its completion counter.
 		t.sendAckPacket(src, ptDataAck, h.msgID)
@@ -213,13 +217,13 @@ func (t *Task) handleGetReq(ctx exec.Context, src int, h header) {
 		if t.cfg.SendOverhead > 0 {
 			ctx.Sleep(t.cfg.SendOverhead)
 		}
-		gh := &header{
+		gh := header{
 			typ:      ptGetData,
 			msgID:    h.msgID,
 			offset:   uint32(off),
 			totalLen: uint32(n),
 		}
-		t.tr.Send(ctx, src, t.buildPacket(gh, data[off:end]), nil)
+		t.tr.Send(ctx, src, t.buildPacket(&gh, data[off:end]), nil)
 	}
 	// Data copied out of target memory: fire the target-side counter.
 	t.counterByID(RemoteCounter(h.cntrA)).incr()
@@ -238,6 +242,7 @@ func (t *Task) handleGetData(h header, payload []byte) {
 	if om.getRecv >= int(h.totalLen) {
 		delete(t.outMsgs, h.msgID)
 		om.orgCntr.incr()
+		t.freeOutMsg(om)
 		t.opDone()
 	}
 }
@@ -254,9 +259,11 @@ func (t *Task) handleDataAck(h header) {
 	case ptPutData:
 		delete(t.outMsgs, h.msgID)
 		om.cmplCntr.incr()
+		t.freeOutMsg(om)
 	case ptAmHdr:
 		if !om.wantCmpl || om.cmplAcked {
 			delete(t.outMsgs, h.msgID)
+			t.freeOutMsg(om)
 		}
 	default:
 		panic(fmt.Sprintf("lapi: DataAck for op kind %d", om.kind))
@@ -275,6 +282,7 @@ func (t *Task) handleCmplAck(h header) {
 	om.cmplCntr.incr()
 	if om.dataAcked {
 		delete(t.outMsgs, h.msgID)
+		t.freeOutMsg(om)
 	}
 }
 
@@ -283,8 +291,8 @@ func (t *Task) handleCmplAck(h header) {
 // traffic, and charging them would double-count the dispatcher overhead
 // already charged for the packet that triggered them.
 func (t *Task) sendAckPacket(dst int, typ byte, msgID uint32) {
-	h := &header{typ: typ, msgID: msgID}
-	t.tr.Send(nil, dst, t.buildPacket(h, nil), nil)
+	h := header{typ: typ, msgID: msgID}
+	t.tr.Send(nil, dst, t.buildPacket(&h, nil), nil)
 }
 
 // RmwOp selects the atomic operation of Rmw (§3: "four atomic primitives").
@@ -342,18 +350,19 @@ func (t *Task) Rmw(ctx exec.Context, op RmwOp, tgt int, tgtVar Addr, inVal, comp
 	t.msgSeq++
 	id := t.msgSeq
 	t.tracef(trace.KindOp, "rmw %v -> %d (msg %d)", op, tgt, id)
-	t.outMsgs[id] = &outMsg{kind: ptRmwReq, dst: tgt, orgCntr: org, rmwPrev: prev}
+	om := t.newOutMsg()
+	om.kind, om.dst, om.orgCntr, om.rmwPrev = ptRmwReq, tgt, org, prev
+	t.outMsgs[id] = om
 	t.outstanding++
 
-	h := &header{
+	t.sendControl(ctx, tgt, header{
 		typ:     ptRmwReq,
 		msgID:   id,
 		handler: uint16(op),
 		addr:    uint64(tgtVar),
 		addr2:   uint64(inVal),
 		aux:     uint64(comparand),
-	}
-	t.sendControl(ctx, tgt, h)
+	})
 	return nil
 }
 
@@ -384,8 +393,7 @@ func (t *Task) handleRmwReq(ctx exec.Context, src int, h header) {
 		panic(fmt.Sprintf("lapi: task %d: bad Rmw op %d", t.Self(), h.handler))
 	}
 	binary.BigEndian.PutUint64(b, uint64(next))
-	rep := &header{typ: ptRmwRep, msgID: h.msgID, addr2: uint64(old)}
-	t.sendControl(ctx, src, rep)
+	t.sendControl(ctx, src, header{typ: ptRmwRep, msgID: h.msgID, addr2: uint64(old)})
 }
 
 // handleRmwRep delivers the old value to the origin.
@@ -399,5 +407,6 @@ func (t *Task) handleRmwRep(h header) {
 		*om.rmwPrev = int64(h.addr2)
 	}
 	om.orgCntr.incr()
+	t.freeOutMsg(om)
 	t.opDone()
 }

@@ -51,7 +51,7 @@ func (t *Task) Barrier(ctx exec.Context) {
 	t.requireBlockingAllowed("Barrier")
 	epoch := t.coll.barrierEpoch
 	t.coll.barrierEpoch++
-	t.sendControl(ctx, 0, &header{typ: ptBarrierArrive, aux: epoch})
+	t.sendControl(ctx, 0, header{typ: ptBarrierArrive, aux: epoch})
 	for t.coll.barrierDone <= epoch {
 		t.poll(ctx)
 		if t.coll.barrierDone > epoch {
@@ -84,7 +84,7 @@ func (t *Task) ExchangeWord(ctx exec.Context, value uint64) ([]uint64, error) {
 	t.requireBlockingAllowed("ExchangeWord")
 	gen := t.coll.gatherGen
 	t.coll.gatherGen++
-	t.sendControl(ctx, 0, &header{
+	t.sendControl(ctx, 0, header{
 		typ:    ptGatherWord,
 		offset: uint32(t.Self()),
 		addr2:  value,
@@ -139,7 +139,7 @@ func (c *collectives) handle(ctx exec.Context, src int, h header, payload []byte
 		if c.barrierArrived[epoch] == t.N() {
 			delete(c.barrierArrived, epoch)
 			for r := 0; r < t.N(); r++ {
-				t.sendControl(ctx, r, &header{typ: ptBarrierGo, aux: epoch})
+				t.sendControl(ctx, r, header{typ: ptBarrierGo, aux: epoch})
 			}
 		}
 
@@ -201,14 +201,14 @@ func (c *collectives) broadcastTable(ctx exec.Context, gen uint64, table []uint6
 		for i, w := range table[start:end] {
 			binary.BigEndian.PutUint64(payload[i*8:], w)
 		}
-		h := &header{
+		h := header{
 			typ:      ptTableChunk,
 			offset:   uint32(start),
 			totalLen: uint32(len(table)),
 			aux:      gen,
 		}
 		for r := 0; r < t.N(); r++ {
-			pkt := t.buildPacket(h, payload)
+			pkt := t.buildPacket(&h, payload)
 			t.tr.Send(ctx, r, pkt, nil)
 		}
 	}

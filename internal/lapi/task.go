@@ -25,12 +25,27 @@ type Task struct {
 	handlers  []HeaderHandler
 	blockPool []*Counter // free-list for the blocking-call wrappers
 
-	// Receive path.
+	// Receive path. rx[rxHead:] is the pending queue; drain consumes by
+	// advancing rxHead and truncates back to rx[:0] when it empties, so the
+	// backing array is reused instead of reallocated on every burst.
 	rx              []rxPacket
+	rxHead          int
 	rxCond          exec.Cond // arrivals (dispatcher wakeup)
 	progress        exec.Cond // arrivals + counter updates (pollers wakeup)
 	draining        bool      // a drain loop is active; avoids re-entrant drains
 	inHeaderHandler bool      // a user header handler is on the stack
+
+	// Packet recycling. rxPkt is the wire packet currently being handled;
+	// rxRetain is set when a handler keeps a reference past the dispatch
+	// (a stashed out-of-order AM packet), deferring the transport Release.
+	rxPkt    []byte
+	rxRetain bool
+
+	// Free lists for per-message tracking records. The dispatcher
+	// serializes all access, so plain slices suffice; steady-state traffic
+	// allocates no outMsg/inMsg and reuses each inMsg's stash slice.
+	outFree []*outMsg
+	inFree  []*inMsg
 
 	// Origin-side state for messages this task initiated.
 	msgSeq      uint32
@@ -100,7 +115,47 @@ type inMsg struct {
 
 type stashed struct {
 	offset int
-	data   []byte
+	data   []byte // aliases pkt's payload region
+	pkt    []byte // the retained wire packet, released once merged
+}
+
+// newOutMsg returns a zeroed outMsg, recycled when possible.
+func (t *Task) newOutMsg() *outMsg {
+	if n := len(t.outFree); n > 0 {
+		om := t.outFree[n-1]
+		t.outFree = t.outFree[:n-1]
+		return om
+	}
+	return &outMsg{}
+}
+
+// freeOutMsg recycles om. Callers must be done reading its fields and must
+// not have handed om itself to any closure (the send path captures the
+// origin counter, never the record).
+func (t *Task) freeOutMsg(om *outMsg) {
+	*om = outMsg{}
+	t.outFree = append(t.outFree, om)
+}
+
+// newInMsg returns a zeroed inMsg, recycled when possible. The stash slice
+// keeps its capacity across reuses.
+func (t *Task) newInMsg() *inMsg {
+	if n := len(t.inFree); n > 0 {
+		im := t.inFree[n-1]
+		t.inFree = t.inFree[:n-1]
+		return im
+	}
+	return &inMsg{}
+}
+
+// freeInMsg recycles im, retaining the stash backing array.
+func (t *Task) freeInMsg(im *inMsg) {
+	stash := im.stash
+	for i := range stash {
+		stash[i] = stashed{} // release packet references
+	}
+	*im = inMsg{stash: stash[:0]}
+	t.inFree = append(t.inFree, im)
 }
 
 // NewTask initializes a LAPI task over transport tr (the analogue of
@@ -196,7 +251,7 @@ func (t *Task) deliver(src int, pkt []byte) {
 // parked; user calls drive progress via poll.
 func (t *Task) dispatcherLoop(ctx exec.Context) {
 	for {
-		for !t.closed && (t.cfg.Mode == Polling || len(t.rx) == 0 || t.draining) {
+		for !t.closed && (t.cfg.Mode == Polling || t.rxHead == len(t.rx) || t.draining) {
 			ctx.Wait(t.rxCond)
 		}
 		if t.closed {
@@ -204,7 +259,7 @@ func (t *Task) dispatcherLoop(ctx exec.Context) {
 		}
 		if t.cfg.InterruptCost > 0 {
 			t.Counters.Add(stats.Interrupts, 1)
-			t.tracef(trace.KindInterrupt, "dispatcher wake, %d queued", len(t.rx))
+			t.tracef(trace.KindInterrupt, "dispatcher wake, %d queued", len(t.rx)-t.rxHead)
 			ctx.Sleep(t.cfg.InterruptCost)
 		}
 		t.drain(ctx)
@@ -228,10 +283,10 @@ func (t *Task) poll(ctx exec.Context) {
 func (t *Task) drain(ctx exec.Context) {
 	t.draining = true
 	defer func() { t.draining = false }()
-	for len(t.rx) > 0 {
-		rp := t.rx[0]
-		t.rx[0] = rxPacket{}
-		t.rx = t.rx[1:]
+	for t.rxHead < len(t.rx) {
+		rp := t.rx[t.rxHead]
+		t.rx[t.rxHead] = rxPacket{}
+		t.rxHead++
 		cost := t.cfg.RecvOverhead
 		if len(rp.pkt) > 0 && (rp.pkt[0] == ptDataAck || rp.pkt[0] == ptCmplAck) {
 			cost = t.cfg.AckOverhead
@@ -242,8 +297,18 @@ func (t *Task) drain(ctx exec.Context) {
 		if t.cfg.Tracer != nil && len(rp.pkt) > 0 {
 			t.tracef(trace.KindPacket, "type=%d from=%d %dB", rp.pkt[0], rp.src, len(rp.pkt))
 		}
+		t.rxPkt = rp.pkt
+		t.rxRetain = false
 		t.handle(ctx, rp.src, rp.pkt)
+		if !t.rxRetain {
+			// Handlers copy what they keep (or stash the whole packet and
+			// set rxRetain), so the wire buffer can back a future frame.
+			t.tr.Release(rp.pkt)
+		}
+		t.rxPkt = nil
 	}
+	t.rx = t.rx[:0]
+	t.rxHead = 0
 }
 
 // handle dispatches one received packet.
@@ -297,12 +362,13 @@ func (t *Task) requireBlockingAllowed(op string) {
 }
 
 // sendControl transmits a payload-less control packet, charging injection
-// cost.
-func (t *Task) sendControl(ctx exec.Context, dst int, h *header) {
+// cost. The header is taken by value so callers can pass a stack literal —
+// no per-control-packet header allocation.
+func (t *Task) sendControl(ctx exec.Context, dst int, h header) {
 	if t.cfg.SendOverhead > 0 {
 		ctx.Sleep(t.cfg.SendOverhead)
 	}
-	t.tr.Send(ctx, dst, t.buildPacket(h, nil), nil)
+	t.tr.Send(ctx, dst, t.buildPacket(&h, nil), nil)
 }
 
 // opDone is called when an operation initiated by this task has finished

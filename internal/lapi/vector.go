@@ -96,22 +96,20 @@ func (t *Task) PutStrided(ctx exec.Context, tgt int, tgtAddr Addr, st Stride, da
 
 	t.msgSeq++
 	id := t.msgSeq
-	om := &outMsg{kind: ptPutData, dst: tgt, orgCntr: org, cmplCntr: cmpl}
+	om := t.newOutMsg()
+	om.kind, om.dst, om.orgCntr, om.cmplCntr = ptPutData, tgt, org, cmpl
 	t.outMsgs[id] = om
 	t.outstanding++
 
 	addr2, aux := packStride(st)
-	t.sendChunked(ctx, tgt, data, om, func(offset int, chunk []byte) *header {
-		return &header{
-			typ:      ptPutvData,
-			msgID:    id,
-			offset:   uint32(offset),
-			totalLen: uint32(len(data)),
-			addr:     uint64(tgtAddr),
-			addr2:    addr2,
-			cntrA:    uint32(tgtCntr),
-			aux:      aux,
-		}
+	t.sendChunked(ctx, tgt, data, om, header{
+		typ:      ptPutvData,
+		msgID:    id,
+		totalLen: uint32(len(data)),
+		addr:     uint64(tgtAddr),
+		addr2:    addr2,
+		cntrA:    uint32(tgtCntr),
+		aux:      aux,
 	})
 	return nil
 }
@@ -124,12 +122,11 @@ func (t *Task) handlePutvData(src int, h header, payload []byte) {
 	key := inKey{src: src, msgID: h.msgID}
 	im := t.inMsgs[key]
 	if im == nil {
-		im = &inMsg{
-			kind:    ptPutData,
-			total:   int(h.totalLen),
-			tgtAddr: Addr(h.addr),
-			tgtCntr: t.counterByID(RemoteCounter(h.cntrA)),
-		}
+		im = t.newInMsg()
+		im.kind = ptPutData
+		im.total = int(h.totalLen)
+		im.tgtAddr = Addr(h.addr)
+		im.tgtCntr = t.counterByID(RemoteCounter(h.cntrA))
 		t.inMsgs[key] = im
 	}
 	// Scatter the payload into the strided region, splitting at block
@@ -154,6 +151,7 @@ func (t *Task) handlePutvData(src int, h header, payload []byte) {
 	if im.recvd >= im.total {
 		delete(t.inMsgs, key)
 		im.tgtCntr.incr()
+		t.freeInMsg(im)
 		t.sendAckPacket(src, ptDataAck, h.msgID)
 	}
 }
@@ -181,12 +179,13 @@ func (t *Task) GetStrided(ctx exec.Context, tgt int, tgtAddr Addr, st Stride, bu
 
 	t.msgSeq++
 	id := t.msgSeq
-	om := &outMsg{kind: ptGetReq, dst: tgt, orgCntr: org, getBuf: buf}
+	om := t.newOutMsg()
+	om.kind, om.dst, om.orgCntr, om.getBuf = ptGetReq, tgt, org, buf
 	t.outMsgs[id] = om
 	t.outstanding++
 
 	addr2, aux := packStride(st)
-	h := &header{
+	t.sendControl(ctx, tgt, header{
 		typ:      ptGetvReq,
 		msgID:    id,
 		totalLen: uint32(len(buf)),
@@ -194,8 +193,7 @@ func (t *Task) GetStrided(ctx exec.Context, tgt int, tgtAddr Addr, st Stride, bu
 		addr2:    addr2,
 		cntrA:    uint32(tgtCntr),
 		aux:      aux,
-	}
-	t.sendControl(ctx, tgt, h)
+	})
 	return nil
 }
 
@@ -231,8 +229,8 @@ func (t *Task) handleGetvReq(ctx exec.Context, src int, h header) {
 		if t.cfg.SendOverhead > 0 {
 			ctx.Sleep(t.cfg.SendOverhead)
 		}
-		gh := &header{typ: ptGetData, msgID: h.msgID, offset: uint32(off), totalLen: uint32(n)}
-		t.tr.Send(ctx, src, t.buildPacket(gh, packed[off:end]), nil)
+		gh := header{typ: ptGetData, msgID: h.msgID, offset: uint32(off), totalLen: uint32(n)}
+		t.tr.Send(ctx, src, t.buildPacket(&gh, packed[off:end]), nil)
 	}
 	t.counterByID(RemoteCounter(h.cntrA)).incr()
 }

@@ -89,11 +89,27 @@ func decodeHeader(src []byte) (header, error) {
 }
 
 // buildPacket assembles header + payload into one wire packet, padding the
-// header to cfg.HeaderBytes so the modelled header cost is on the wire.
+// header to cfg.HeaderBytes so the modelled header cost is on the wire. The
+// buffer comes from the transport's pool (fabric.Transport.Alloc), so on
+// pooled transports a steady-state sender allocates nothing; ownership
+// passes to the transport at Send.
 func (t *Task) buildPacket(h *header, payload []byte) []byte {
-	pkt := make([]byte, t.cfg.HeaderBytes+len(payload))
+	pkt := t.tr.Alloc(t.cfg.HeaderBytes + len(payload))
 	h.encode(pkt)
+	clear(pkt[headerSize:t.cfg.HeaderBytes]) // pooled buffers hold stale bytes
 	copy(pkt[t.cfg.HeaderBytes:], payload)
+	return pkt
+}
+
+// buildPacket2 is buildPacket with the payload in two parts, so callers
+// with a split payload (Amsend's uhdr + first udata chunk) need not gather
+// it into a temporary first.
+func (t *Task) buildPacket2(h *header, pay1, pay2 []byte) []byte {
+	pkt := t.tr.Alloc(t.cfg.HeaderBytes + len(pay1) + len(pay2))
+	h.encode(pkt)
+	clear(pkt[headerSize:t.cfg.HeaderBytes])
+	copy(pkt[t.cfg.HeaderBytes:], pay1)
+	copy(pkt[t.cfg.HeaderBytes+len(pay1):], pay2)
 	return pkt
 }
 

@@ -19,6 +19,7 @@ type Task struct {
 	cfg Config
 
 	rx       []rxPacket
+	rxHead   int
 	rxCond   exec.Cond
 	progress exec.Cond
 	draining bool
@@ -162,7 +163,7 @@ func (t *Task) deliver(src int, pkt []byte) {
 
 func (t *Task) dispatcherLoop(ctx exec.Context) {
 	for {
-		for !t.closed && (t.cfg.Mode == Polling || len(t.rx) == 0 || t.draining) {
+		for !t.closed && (t.cfg.Mode == Polling || t.rxHead == len(t.rx) || t.draining) {
 			ctx.Wait(t.rxCond)
 		}
 		if t.closed {
@@ -187,15 +188,21 @@ func (t *Task) poll(ctx exec.Context) {
 func (t *Task) drain(ctx exec.Context) {
 	t.draining = true
 	defer func() { t.draining = false }()
-	for len(t.rx) > 0 {
-		rp := t.rx[0]
-		t.rx[0] = rxPacket{}
-		t.rx = t.rx[1:]
+	for t.rxHead < len(t.rx) {
+		rp := t.rx[t.rxHead]
+		t.rx[t.rxHead] = rxPacket{}
+		t.rxHead++
 		if t.cfg.RecvOverhead > 0 {
 			ctx.Sleep(t.cfg.RecvOverhead)
 		}
 		t.handle(ctx, rp.src, rp.pkt)
+		// Every handler copies what it keeps (eager staging buffers,
+		// matched receive buffers), so the wire buffer can go back to the
+		// transport's pool.
+		t.tr.Release(rp.pkt)
 	}
+	t.rx = t.rx[:0]
+	t.rxHead = 0
 }
 
 func (t *Task) handle(ctx exec.Context, src int, pkt []byte) {

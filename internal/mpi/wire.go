@@ -56,9 +56,13 @@ func decodeWireHeader(src []byte) (wireHeader, error) {
 	}, nil
 }
 
+// buildPacket assembles header + payload into one wire packet. The buffer
+// comes from the transport's pool (fabric.Transport.Alloc); ownership
+// passes to the transport at Send.
 func (t *Task) buildPacket(h *wireHeader, payload []byte) []byte {
-	pkt := make([]byte, t.cfg.HeaderBytes+len(payload))
+	pkt := t.tr.Alloc(t.cfg.HeaderBytes + len(payload))
 	h.encode(pkt)
+	clear(pkt[wireHeaderSize:t.cfg.HeaderBytes]) // pooled buffers hold stale bytes
 	copy(pkt[t.cfg.HeaderBytes:], payload)
 	return pkt
 }

@@ -10,10 +10,16 @@
 // whenever they block (Sleep, Wait); the handoff is a rendezvous on
 // per-process channels, which keeps user code in ordinary blocking style
 // while the clock only advances between events.
+//
+// The event queue is built for the hot path: events are inline values in a
+// 4-ary heap (no per-Schedule allocation, no interface boxing), and events
+// scheduled for the current instant — the overwhelming majority in a busy
+// protocol exchange: process wakeups, condition broadcasts, zero-delay
+// handoffs — bypass the heap entirely through a FIFO that the run loop
+// drains straight down ("free run") whenever no timer events are pending.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 	"time"
@@ -32,40 +38,67 @@ func (t Time) String() string {
 	return time.Duration(t).String()
 }
 
-// event is a scheduled callback. Events with equal time fire in scheduling
-// order (seq breaks ties), which is what makes runs deterministic.
+// event is a scheduled callback, stored by value. Events with equal time
+// fire in scheduling order (seq breaks ties), which is what makes runs
+// deterministic. A process wakeup is stored as proc directly rather than as
+// a closure over step, so the scheduler's own bookkeeping never allocates.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
+	at   Time
+	seq  uint64
+	fn   func()
+	proc *Proc // when non-nil, fire by stepping this process; fn is nil
 }
 
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
+// less orders events by (at, seq): virtual time first, scheduling order as
+// the tiebreak.
+func less(a, b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// timerEntry is one future event in the timer heap: the ordering key plus
+// the index of its payload in the slot slab. Deliberately pointer-free so
+// the heap array is never scanned by the GC and sift swaps need no write
+// barriers — with millions of queued timers both costs dominate the pop
+// path otherwise.
+type timerEntry struct {
+	at   Time
+	seq  uint64
+	slot int32
+}
+
+// entryLess orders timer entries by (at, seq).
+func entryLess(a, b *timerEntry) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// timerSlot holds the payload of one queued timer event, referenced by
+// index from the heap. Slots are recycled through a free list, so steady
+// state schedules allocate nothing.
+type timerSlot struct {
+	fn   func()
+	proc *Proc
 }
 
 // Engine is a discrete-event scheduler. The zero value is not usable; create
 // one with NewEngine.
 type Engine struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
+	now Time
+	seq uint64
+
+	// timers is a 4-ary min-heap (by (at, seq)) of events strictly in the
+	// future. 4-ary rather than binary: shallower trees mean fewer swaps
+	// per push/pop, and the 4 children share cache lines. Payloads live in
+	// slots; freeSlots recycles vacated indices.
+	timers    []timerEntry
+	slots     []timerSlot
+	freeSlots []int32
+	// due is a FIFO of events scheduled for the current instant. Invariant:
+	// every entry has at == now (now only advances once due is empty), and
+	// entries are in seq order, so due[dueHead] is always the oldest
+	// current-instant event. The backing array is reused across drains.
+	due     []event
+	dueHead int
+
 	yield   chan struct{} // process -> engine handoff
 	procs   map[*Proc]struct{}
 	stopped bool
@@ -88,8 +121,130 @@ func (e *Engine) Schedule(d Duration, fn func()) {
 	if d < 0 {
 		d = 0
 	}
+	e.schedule(e.now+Time(d), fn, nil)
+}
+
+// schedule enqueues one event. Current-instant events go to the due FIFO;
+// future events go to the timer heap.
+func (e *Engine) schedule(at Time, fn func(), p *Proc) {
 	e.seq++
-	heap.Push(&e.events, &event{at: e.now + Time(d), seq: e.seq, fn: fn})
+	if at == e.now {
+		e.due = append(e.due, event{at: at, seq: e.seq, fn: fn, proc: p})
+		return
+	}
+	var slot int32
+	if n := len(e.freeSlots); n > 0 {
+		slot = e.freeSlots[n-1]
+		e.freeSlots = e.freeSlots[:n-1]
+	} else {
+		slot = int32(len(e.slots))
+		e.slots = append(e.slots, timerSlot{})
+	}
+	e.slots[slot] = timerSlot{fn: fn, proc: p}
+	e.push(timerEntry{at: at, seq: e.seq, slot: slot})
+}
+
+// scheduleProc enqueues a wakeup for p at Now()+d without allocating a
+// closure.
+func (e *Engine) scheduleProc(d Duration, p *Proc) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(e.now+Time(d), nil, p)
+}
+
+// pending reports the number of queued events.
+func (e *Engine) pending() int { return len(e.timers) + len(e.due) - e.dueHead }
+
+// push inserts ev into the 4-ary timer heap.
+func (e *Engine) push(ev timerEntry) {
+	h := append(e.timers, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !entryLess(&h[i], &h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	e.timers = h
+}
+
+// popTimer removes and returns the minimum of the timer heap, recycling its
+// payload slot.
+func (e *Engine) popTimer() event {
+	h := e.timers
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if entryLess(&h[c], &h[min]) {
+				min = c
+			}
+		}
+		if !entryLess(&h[min], &h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	e.timers = h
+	s := &e.slots[top.slot]
+	ev := event{at: top.at, seq: top.seq, fn: s.fn, proc: s.proc}
+	*s = timerSlot{} // release fn/proc references
+	e.freeSlots = append(e.freeSlots, top.slot)
+	return ev
+}
+
+// popDue removes and returns the head of the due FIFO, which the caller has
+// checked is non-empty. The backing array is recycled once drained.
+func (e *Engine) popDue() event {
+	ev := e.due[e.dueHead]
+	e.due[e.dueHead] = event{} // release fn/proc references
+	e.dueHead++
+	if e.dueHead == len(e.due) {
+		e.due = e.due[:0]
+		e.dueHead = 0
+	}
+	return ev
+}
+
+// pop removes and returns the globally next event by (at, seq). Due entries
+// sit at the current instant so they can never be later than the heap
+// minimum; when both are at the same instant the smaller seq — necessarily
+// the heap's, scheduled strictly earlier — fires first.
+func (e *Engine) pop() event {
+	if e.dueHead < len(e.due) {
+		d := &e.due[e.dueHead]
+		if len(e.timers) == 0 || d.at < e.timers[0].at ||
+			(d.at == e.timers[0].at && d.seq < e.timers[0].seq) {
+			return e.popDue()
+		}
+		return e.popTimer()
+	}
+	return e.popTimer()
+}
+
+// fire dispatches one event.
+func (e *Engine) fire(ev event) {
+	if ev.proc != nil {
+		e.step(ev.proc)
+		return
+	}
+	ev.fn()
 }
 
 // DeadlockError reports that the event queue drained while processes were
@@ -107,13 +262,22 @@ func (d *DeadlockError) Error() string {
 // spawned process has finished, or a *DeadlockError if processes remain
 // parked with nothing left to wake them.
 func (e *Engine) Run() error {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
+	for {
+		// Free-run fast path: nothing on the timer heap, so the due FIFO is
+		// the whole schedule — drain it in order with no comparisons and no
+		// clock movement.
+		for len(e.timers) == 0 && e.dueHead < len(e.due) {
+			e.fire(e.popDue())
+		}
+		if e.pending() == 0 {
+			break
+		}
+		ev := e.pop()
 		if ev.at < e.now {
 			panic("sim: event scheduled in the past")
 		}
 		e.now = ev.at
-		ev.fn()
+		e.fire(ev)
 	}
 	var parked []string
 	for p := range e.procs {
@@ -131,15 +295,26 @@ func (e *Engine) Run() error {
 // RunUntil executes events with timestamps <= deadline and then stops,
 // leaving later events queued. It reports whether any events remain.
 func (e *Engine) RunUntil(deadline Time) bool {
-	for len(e.events) > 0 && e.events[0].at <= deadline {
-		ev := heap.Pop(&e.events).(*event)
+	for {
+		var at Time
+		if e.dueHead < len(e.due) {
+			at = e.due[e.dueHead].at
+		} else if len(e.timers) > 0 {
+			at = e.timers[0].at
+		} else {
+			break
+		}
+		if at > deadline {
+			break
+		}
+		ev := e.pop()
 		e.now = ev.at
-		ev.fn()
+		e.fire(ev)
 	}
 	if e.now < deadline {
 		e.now = deadline
 	}
-	return len(e.events) > 0
+	return e.pending() > 0
 }
 
 // Proc is a simulated process: a goroutine whose execution interleaves with
@@ -171,7 +346,7 @@ func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
 		p.exit.Broadcast()
 		e.yield <- struct{}{}
 	}()
-	e.Schedule(0, func() { e.step(p) })
+	e.scheduleProc(0, p)
 	return p
 }
 
@@ -203,12 +378,9 @@ func (p *Proc) Now() Time { return p.eng.now }
 
 // Sleep suspends the process for virtual duration d.
 func (p *Proc) Sleep(d Duration) {
-	if d <= 0 {
-		// Even a zero-length sleep is a scheduling point: other events at
-		// the current time run before we continue.
-		d = 0
-	}
-	p.eng.Schedule(d, func() { p.eng.step(p) })
+	// Even a zero-length sleep is a scheduling point: other events at the
+	// current time run before we continue.
+	p.eng.scheduleProc(d, p)
 	p.park()
 }
 
@@ -243,8 +415,7 @@ func (c *Cond) Broadcast() {
 	waiters := c.waiters
 	c.waiters = nil
 	for _, p := range waiters {
-		p := p
-		c.eng.Schedule(0, func() { c.eng.step(p) })
+		c.eng.scheduleProc(0, p)
 	}
 }
 

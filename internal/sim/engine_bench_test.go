@@ -11,6 +11,7 @@ import (
 
 func BenchmarkScheduleAndRun(b *testing.B) {
 	e := NewEngine()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Schedule(time.Duration(i), func() {})
@@ -46,6 +47,7 @@ func BenchmarkProcessSwitch(b *testing.B) {
 			c1.Broadcast()
 		}
 	})
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := e.Run(); err != nil {
 		b.Fatal(err)
@@ -67,6 +69,7 @@ func BenchmarkManySleepers(b *testing.B) {
 			}
 		})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	if err := e.Run(); err != nil {
 		b.Fatal(err)

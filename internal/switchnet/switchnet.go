@@ -187,6 +187,17 @@ func (a *Adapter) MaxPacket() int { return a.sw.cfg.PacketBytes }
 // SetDeliver implements fabric.Transport.
 func (a *Adapter) SetDeliver(fn func(src int, data []byte)) { a.deliver = fn }
 
+// Alloc implements fabric.Transport. The switch does not pool: sent packets
+// are retained by the retransmission machinery (and delivered slices alias
+// them), so buffers cannot be recycled on release.
+func (a *Adapter) Alloc(n int) []byte { return make([]byte, n) }
+
+// Release implements fabric.Transport as a no-op; see Alloc.
+func (a *Adapter) Release(pkt []byte) {}
+
+// Contract implements fabric.Transport: nothing is pooled.
+func (a *Adapter) Contract() fabric.Contract { return fabric.Contract{} }
+
 // Close implements fabric.Transport.
 func (a *Adapter) Close() error { return nil }
 

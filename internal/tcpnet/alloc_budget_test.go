@@ -1,0 +1,55 @@
+//go:build !race
+
+// Allocation budget for the real-TCP hot path. Race-detector builds are
+// excluded: instrumentation changes allocation counts.
+
+package tcpnet_test
+
+import (
+	"testing"
+
+	"golapi/internal/cluster"
+	"golapi/internal/exec"
+	"golapi/internal/lapi"
+)
+
+// tcpPutAllocBudget bounds steady-state allocations per synchronous
+// 4-byte Put over loopback TCP, counted across all goroutines (origin
+// dispatcher, write loop, reader, target). Measured 3.0 when the buffer
+// pool landed (down from 10 before it); ~2x headroom so scheduler-
+// dependent variance doesn't flake, while a return to per-packet
+// make([]byte) (several allocs per message each way) still trips it.
+const tcpPutAllocBudget = 6.0
+
+func TestTCPPutAllocBudget(t *testing.T) {
+	j, err := cluster.NewTCPLAPI(2, lapi.ZeroCost())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var avg float64
+	err = j.Run(func(ctx exec.Context, lt *lapi.Task) {
+		buf := lt.Alloc(64)
+		addrs, aerr := lt.AddressInit(ctx, buf)
+		if aerr != nil {
+			t.Error(aerr)
+			return
+		}
+		if lt.Self() == 0 {
+			src := []byte{1, 2, 3, 4}
+			for i := 0; i < 32; i++ { // warm pools, connections, message maps
+				lt.PutSync(ctx, 1, addrs[1], src, lapi.NoCounter)
+			}
+			avg = testing.AllocsPerRun(200, func() {
+				lt.PutSync(ctx, 1, addrs[1], src, lapi.NoCounter)
+			})
+		}
+		lt.Gfence(ctx)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if avg > tcpPutAllocBudget {
+		t.Errorf("tcp 4-byte PutSync: %.1f allocs/op, budget %.1f — pooled hot path regressed", avg, tcpPutAllocBudget)
+	}
+	t.Logf("tcp 4-byte PutSync: %.1f allocs/op (budget %.1f)", avg, tcpPutAllocBudget)
+}

@@ -28,11 +28,88 @@ import (
 // bigger packets amortize per-frame overhead.
 const DefaultMaxPacket = 64 * 1024
 
+// Frame buffers are pooled in three size classes so the read and write hot
+// paths allocate nothing in steady state. The small class is the fast path
+// for the ack/counter control frames that dominate packet counts; the big
+// class matches DefaultMaxPacket. The pool is package-level and shared by
+// every endpoint in the process: buffers sent between in-process ranks
+// recirculate instead of ping-ponging through the garbage collector.
+const (
+	classSmall = 256
+	classMid   = 4096
+	classBig   = DefaultMaxPacket
+	poolDepth  = 256 // max retained buffers per class
+)
+
+type bufPool struct {
+	mu      sync.Mutex
+	classes [3][][]byte
+}
+
+var pool bufPool
+
+// classOf maps a requested length to a class index, or -1 when the request
+// is bigger than the largest class.
+func classOf(n int) int {
+	switch {
+	case n <= classSmall:
+		return 0
+	case n <= classMid:
+		return 1
+	case n <= classBig:
+		return 2
+	}
+	return -1
+}
+
+// classCap is the buffer capacity of each class, which is also how put
+// recognizes a poolable buffer.
+var classCap = [3]int{classSmall, classMid, classBig}
+
+// get returns a buffer of length n with unspecified contents.
+func (p *bufPool) get(n int) []byte {
+	ci := classOf(n)
+	if ci < 0 {
+		return make([]byte, n)
+	}
+	p.mu.Lock()
+	if s := p.classes[ci]; len(s) > 0 {
+		b := s[len(s)-1]
+		s[len(s)-1] = nil
+		p.classes[ci] = s[:len(s)-1]
+		p.mu.Unlock()
+		return b[:n]
+	}
+	p.mu.Unlock()
+	return make([]byte, n, classCap[ci])
+}
+
+// put recycles b if it came from the pool. Foreign buffers (caller-built
+// slices handed to Send) are recognized by capacity and left to the GC.
+func (p *bufPool) put(b []byte) {
+	for ci, c := range classCap {
+		if cap(b) != c {
+			continue
+		}
+		b = b[:0]
+		p.mu.Lock()
+		if len(p.classes[ci]) < poolDepth {
+			p.classes[ci] = append(p.classes[ci], b)
+		}
+		p.mu.Unlock()
+		return
+	}
+}
+
 // Endpoint is one task's attachment to the TCP mesh.
 type Endpoint struct {
 	rt        *exec.RealRuntime
 	self, n   int
 	maxPacket int
+
+	// dispatchFn is the dispatch method value, bound once so the read loop
+	// does not allocate a closure per frame.
+	dispatchFn func(src int, data []byte)
 
 	mu      sync.Mutex
 	deliver func(src int, data []byte)
@@ -77,6 +154,7 @@ func Dial(rt *exec.RealRuntime, self, n int, addrs []string, maxPacket int) (*En
 		maxPacket: maxPacket,
 		conns:     make([]*conn, n),
 	}
+	e.dispatchFn = e.dispatch
 
 	ln, err := net.Listen("tcp", addrs[self])
 	if err != nil {
@@ -184,6 +262,19 @@ func (e *Endpoint) N() int { return e.n }
 // MaxPacket implements fabric.Transport.
 func (e *Endpoint) MaxPacket() int { return e.maxPacket }
 
+// Alloc implements fabric.Transport: a pooled buffer for an outbound
+// packet, recycled by the write loop after the frame hits the wire.
+func (e *Endpoint) Alloc(n int) []byte { return pool.get(n) }
+
+// Release implements fabric.Transport: returns a delivered frame to the
+// pool. The caller must not touch pkt afterwards.
+func (e *Endpoint) Release(pkt []byte) { pool.put(pkt) }
+
+// Contract implements fabric.Transport: both directions are pooled.
+func (e *Endpoint) Contract() fabric.Contract {
+	return fabric.Contract{PooledDelivery: true, PooledSend: true}
+}
+
 // SetDeliver implements fabric.Transport, flushing any frames that raced
 // ahead of task construction.
 func (e *Endpoint) SetDeliver(fn func(src int, data []byte)) {
@@ -206,14 +297,14 @@ func (e *Endpoint) Send(ctx exec.Context, dst int, data []byte, sent func()) {
 		panic(fmt.Sprintf("tcpnet: packet of %d bytes exceeds MaxPacket=%d", len(data), e.maxPacket))
 	}
 	if dst == e.self {
-		// Loopback without touching the network. Deliver
-		// asynchronously to preserve Send's non-blocking contract.
-		cp := append([]byte(nil), data...)
+		// Loopback without touching the network and without copying: Send
+		// owns data, and the receiver returns it to the pool via Release.
+		// Deliver asynchronously to preserve Send's non-blocking contract.
 		e.rt.After(0, func() {
 			if sent != nil {
 				sent()
 			}
-			e.dispatch(e.self, cp)
+			e.dispatch(e.self, data)
 		})
 		return
 	}
@@ -227,24 +318,58 @@ func (e *Endpoint) Send(ctx exec.Context, dst int, data []byte, sent func()) {
 	cn.out <- outFrame{data: data, sent: sent}
 }
 
+// writeBatch is the most frames one writev gathers. Each frame contributes
+// two iovec entries (length prefix + payload).
+const writeBatch = 16
+
 func (e *Endpoint) writeLoop(cn *conn) {
 	defer e.wg.Done()
 	// Closing the socket here — after the outbound queue has drained —
 	// guarantees frames queued before Close (e.g. a final barrier
 	// release) are flushed, and unblocks the peer-facing read loop.
 	defer cn.c.Close()
-	var lenBuf [4]byte
+	var (
+		lens   [writeBatch][4]byte
+		frames [writeBatch]outFrame
+		iovBuf [2 * writeBatch][]byte
+	)
 	for f := range cn.out {
-		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(f.data)))
-		if _, err := cn.c.Write(lenBuf[:]); err != nil {
+		// Gather whatever else is already queued, then emit the batch as a
+		// single writev: one syscall per batch instead of two per frame,
+		// and no cross-frame coalescing latency.
+		frames[0] = f
+		nf := 1
+	gather:
+		for nf < writeBatch {
+			select {
+			case f2, ok := <-cn.out:
+				if !ok {
+					break gather // closed: flush this batch, outer loop exits
+				}
+				frames[nf] = f2
+				nf++
+			default:
+				break gather // queue empty: never delay a frame to batch
+			}
+		}
+		// WriteTo consumes the Buffers slice it is handed, so build each
+		// batch over a fixed backing array rather than reusing the slice
+		// header (reuse after consumption would reallocate every batch).
+		iov := net.Buffers(iovBuf[:0])
+		for i := 0; i < nf; i++ {
+			binary.BigEndian.PutUint32(lens[i][:], uint32(len(frames[i].data)))
+			iov = append(iov, lens[i][:], frames[i].data)
+		}
+		if _, err := iov.WriteTo(cn.c); err != nil {
 			return
 		}
-		if _, err := cn.c.Write(f.data); err != nil {
-			return
-		}
-		if f.sent != nil {
-			sent := f.sent
-			e.rt.Post(sent)
+		clear(iovBuf[:2*nf])
+		for i := 0; i < nf; i++ {
+			pool.put(frames[i].data)
+			if frames[i].sent != nil {
+				e.rt.Post(frames[i].sent)
+			}
+			frames[i] = outFrame{}
 		}
 	}
 }
@@ -260,11 +385,12 @@ func (e *Endpoint) readLoop(peer int, cn *conn) {
 		if int(n) > e.maxPacket {
 			return // corrupt stream; drop the connection
 		}
-		data := make([]byte, n)
+		data := pool.get(int(n))
 		if _, err := io.ReadFull(cn.c, data); err != nil {
 			return
 		}
-		e.rt.Post(func() { e.dispatch(peer, data) })
+		// The receiver owns data until it calls Release (Contract).
+		e.rt.PostPacket(e.dispatchFn, peer, data)
 	}
 }
 
