@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint bench benchsmoke
+.PHONY: check fmt vet build test race lint bench benchsmoke determinism
 
-check: fmt vet build test race lint benchsmoke
+check: fmt vet build test race lint determinism benchsmoke
 
 fmt:
 	@files=$$(gofmt -l .); \
@@ -25,8 +25,24 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/tcpnet/ ./internal/exec/
+	$(GO) test -race ./internal/tcpnet/ ./internal/exec/ ./internal/parallel/
 	$(GO) test -race -run 'TCP|Real' ./internal/collective/ ./internal/mpi/ ./internal/ga/
+	$(GO) test -race -run 'Sharded' ./internal/switchnet/ ./internal/cluster/
+
+# The multicore determinism gate: every virtual-time experiment must emit
+# byte-identical output whether sweep points run serially or across the
+# parallel executor's workers (internal/parallel).
+determinism:
+	@$(GO) build -o /tmp/golapi-lapibench ./cmd/lapibench
+	@for exp in table2 fig2 all; do \
+		/tmp/golapi-lapibench -exp $$exp -csv -serial > /tmp/golapi-$$exp-serial.out; \
+		/tmp/golapi-lapibench -exp $$exp -csv > /tmp/golapi-$$exp-parallel.out; \
+		if ! cmp -s /tmp/golapi-$$exp-serial.out /tmp/golapi-$$exp-parallel.out; then \
+			echo "determinism: -exp $$exp differs between -serial and parallel:"; \
+			diff /tmp/golapi-$$exp-serial.out /tmp/golapi-$$exp-parallel.out; exit 1; \
+		fi; \
+		echo "determinism: -exp $$exp byte-identical serial vs parallel"; \
+	done
 
 # lapivet enforces the LAPI usage invariants the type system cannot see
 # (DESIGN.md "Usage invariants"): non-blocking header handlers, origin

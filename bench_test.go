@@ -29,7 +29,7 @@ func BenchmarkTable2_Latency(b *testing.B) {
 	var t2 bench.Table2
 	var err error
 	for i := 0; i < b.N; i++ {
-		t2, err = bench.MeasureTable2()
+		t2, err = bench.MeasureTable2(nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -60,7 +60,7 @@ func BenchmarkFigure2_Bandwidth(b *testing.B) {
 	var pts []bench.BandwidthPoint
 	var err error
 	for i := 0; i < b.N; i++ {
-		pts, err = bench.MeasureFigure2(sizes)
+		pts, err = bench.MeasureFigure2(nil, sizes)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -76,7 +76,7 @@ func BenchmarkGATable_Latency(b *testing.B) {
 	var l bench.GALatency
 	var err error
 	for i := 0; i < b.N; i++ {
-		l, err = bench.MeasureGALatency()
+		l, err = bench.MeasureGALatency(nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -92,7 +92,7 @@ func BenchmarkFigure3_GAPut(b *testing.B) {
 	var pts []bench.GABandwidthPoint
 	var err error
 	for i := 0; i < b.N; i++ {
-		pts, err = bench.MeasureFigure3(sizes)
+		pts, err = bench.MeasureFigure3(nil, sizes)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -108,7 +108,7 @@ func BenchmarkFigure4_GAGet(b *testing.B) {
 	var pts []bench.GABandwidthPoint
 	var err error
 	for i := 0; i < b.N; i++ {
-		pts, err = bench.MeasureFigure4(sizes)
+		pts, err = bench.MeasureFigure4(nil, sizes)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,7 +123,7 @@ func BenchmarkApplication_SCF(b *testing.B) {
 	var r bench.AppResult
 	var err error
 	for i := 0; i < b.N; i++ {
-		r, err = bench.MeasureApplication()
+		r, err = bench.MeasureApplication(nil)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	gabench [-exp latency|fig3|fig4|app|all]
+//	gabench [-exp latency|fig3|fig4|ablate|app|all] [-csv] [-serial]
 package main
 
 import (
@@ -13,18 +13,32 @@ import (
 	"log"
 
 	"golapi/internal/bench"
+	"golapi/internal/parallel"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: latency, fig3, fig4, ablate, app, all")
 	csv := flag.Bool("csv", false, "emit data series as CSV (fig3, fig4)")
+	serial := flag.Bool("serial", false, "run sweep points serially instead of across CPU cores")
 	flag.Parse()
 	log.SetFlags(0)
 
-	run := func(name string) bool { return *exp == "all" || *exp == name }
+	px := parallel.Default()
+	if *serial {
+		px = nil
+	}
+
+	ran := false
+	run := func(name string) bool {
+		if *exp == "all" || *exp == name {
+			ran = true
+			return true
+		}
+		return false
+	}
 
 	if run("latency") {
-		l, err := bench.MeasureGALatency()
+		l, err := bench.MeasureGALatency(px)
 		if err != nil {
 			log.Fatalf("latency: %v", err)
 		}
@@ -33,7 +47,7 @@ func main() {
 		fmt.Println()
 	}
 	if run("fig3") {
-		pts, err := bench.MeasureFigure3(bench.Figure34Sizes())
+		pts, err := bench.MeasureFigure3(px, bench.Figure34Sizes())
 		if err != nil {
 			log.Fatalf("fig3: %v", err)
 		}
@@ -45,7 +59,7 @@ func main() {
 		}
 	}
 	if run("fig4") {
-		pts, err := bench.MeasureFigure4(bench.Figure34Sizes())
+		pts, err := bench.MeasureFigure4(px, bench.Figure34Sizes())
 		if err != nil {
 			log.Fatalf("fig4: %v", err)
 		}
@@ -57,19 +71,19 @@ func main() {
 		}
 	}
 	if run("ablate") {
-		vp, err := bench.MeasureVectorAblation([]int{8192, 32768, 131072, 524288})
+		vp, err := bench.MeasureVectorAblation(px, []int{8192, 32768, 131072, 524288})
 		if err != nil {
 			log.Fatalf("ablate: %v", err)
 		}
 		fmt.Print(bench.FormatVectorAblation(vp))
 		fmt.Println()
-		cp, err := bench.MeasureChunkAblation([]int{128, 256, 512, 900, 2048, 4096})
+		cp, err := bench.MeasureChunkAblation(px, []int{128, 256, 512, 900, 2048, 4096})
 		if err != nil {
 			log.Fatalf("ablate: %v", err)
 		}
 		fmt.Print(bench.FormatChunkAblation(cp))
 		fmt.Println()
-		sp, err := bench.MeasureSwitchAblation([]int{32 * 1024, 128 * 1024, 512 * 1024, 1 << 20, 4 << 20})
+		sp, err := bench.MeasureSwitchAblation(px, []int{32 * 1024, 128 * 1024, 512 * 1024, 1 << 20, 4 << 20})
 		if err != nil {
 			log.Fatalf("ablate: %v", err)
 		}
@@ -77,11 +91,14 @@ func main() {
 		fmt.Println()
 	}
 	if run("app") {
-		r, err := bench.MeasureApplication()
+		r, err := bench.MeasureApplication(px)
 		if err != nil {
 			log.Fatalf("app: %v", err)
 		}
 		fmt.Print(bench.FormatApp(r))
 		fmt.Println("paper: 10-50% improvement depending on problem and communication mix")
+	}
+	if !ran {
+		log.Fatalf("unknown experiment %q (want latency, fig3, fig4, ablate, app or all)", *exp)
 	}
 }

@@ -1,11 +1,16 @@
 // Command lapibench regenerates the paper's §4 microbenchmarks on the
 // simulated SP switch: Table 2 (latency), the pipeline-latency figures,
 // Figure 2 (one-way bandwidth), plus sweeps beyond the paper — job-size
-// scaling and the one-sided collective comparison.
+// scaling, the one-sided collective comparison, and the Tier B parallel
+// mesh (one fabric sharded across sub-engines).
+//
+// Sweeps fan out across CPU cores by default; -serial forces the
+// single-worker path. Output is byte-identical either way (the numbers
+// are virtual time; `make determinism` enforces the identity).
 //
 // Usage:
 //
-//	lapibench [-exp table2|pipeline|fig2|scale|collective|all] [-csv]
+//	lapibench [-exp table2|pipeline|fig2|scale|collective|mesh|all] [-csv] [-serial] [-shards N]
 package main
 
 import (
@@ -14,13 +19,21 @@ import (
 	"log"
 
 	"golapi/internal/bench"
+	"golapi/internal/parallel"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, pipeline, fig2, scale, collective, all")
-	csv := flag.Bool("csv", false, "emit data series as CSV (fig2, scale, collective)")
+	exp := flag.String("exp", "all", "experiment to run: table2, pipeline, fig2, scale, collective, mesh, all")
+	csv := flag.Bool("csv", false, "emit data series as CSV (table2, fig2, scale, collective)")
+	serial := flag.Bool("serial", false, "run sweep points serially instead of across CPU cores")
+	shards := flag.Int("shards", 4, "sub-engines for the Tier B parallel mesh (-exp mesh)")
 	flag.Parse()
 	log.SetFlags(0)
+
+	px := parallel.Default()
+	if *serial {
+		px = nil
+	}
 
 	ran := false
 	run := func(name string) bool {
@@ -32,13 +45,17 @@ func main() {
 	}
 
 	if run("table2") {
-		t2, err := bench.MeasureTable2()
+		t2, err := bench.MeasureTable2(px)
 		if err != nil {
 			log.Fatalf("table2: %v", err)
 		}
-		fmt.Print(bench.FormatTable2(t2))
-		fmt.Println("paper:            polling 34/43, polling RT 60/86, interrupt RT 89/200")
-		fmt.Println()
+		if *csv {
+			fmt.Print(bench.CSVTable2(t2))
+		} else {
+			fmt.Print(bench.FormatTable2(t2))
+			fmt.Println("paper:            polling 34/43, polling RT 60/86, interrupt RT 89/200")
+			fmt.Println()
+		}
 	}
 	if run("pipeline") {
 		p, err := bench.MeasurePipeline()
@@ -49,7 +66,7 @@ func main() {
 			float64(p.Put.Nanoseconds())/1e3, float64(p.Get.Nanoseconds())/1e3)
 	}
 	if run("scale") {
-		pts, err := bench.MeasureScale([]int{2, 4, 8, 16, 32, 64})
+		pts, err := bench.MeasureScale(px, []int{2, 4, 8, 16, 32, 64})
 		if err != nil {
 			log.Fatalf("scale: %v", err)
 		}
@@ -61,7 +78,7 @@ func main() {
 		}
 	}
 	if run("collective") {
-		pts, err := bench.MeasureCollective(bench.DefaultCollectiveTasks, bench.DefaultCollectiveSizes)
+		pts, err := bench.MeasureCollective(px, bench.DefaultCollectiveTasks, bench.DefaultCollectiveSizes)
 		if err != nil {
 			log.Fatalf("collective: %v", err)
 		}
@@ -73,7 +90,7 @@ func main() {
 		}
 	}
 	if run("fig2") {
-		pts, err := bench.MeasureFigure2(bench.Figure2Sizes())
+		pts, err := bench.MeasureFigure2(px, bench.Figure2Sizes())
 		if err != nil {
 			log.Fatalf("fig2: %v", err)
 		}
@@ -84,7 +101,21 @@ func main() {
 			fmt.Println("paper: LAPI asymptote ≈97 MB/s (half-peak ≈8 KB), MPI ≈98 MB/s (half-peak ≈23 KB)")
 		}
 	}
+	// mesh reports wall-clock times, which vary run to run, so it is only
+	// run when explicitly requested — never under -exp all, whose output
+	// must stay byte-diffable for the determinism gate.
+	if *exp == "mesh" {
+		ran = true
+		m, err := bench.MeasureMesh(8, *shards, 50, 1024)
+		if err != nil {
+			log.Fatalf("mesh: %v", err)
+		}
+		fmt.Print(bench.FormatMesh(m))
+		if !m.Matches {
+			log.Fatalf("mesh: sharded run diverged from the serial engine")
+		}
+	}
 	if !ran {
-		log.Fatalf("unknown experiment %q (want table2, pipeline, fig2, scale, collective or all)", *exp)
+		log.Fatalf("unknown experiment %q (want table2, pipeline, fig2, scale, collective, mesh or all)", *exp)
 	}
 }

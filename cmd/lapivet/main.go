@@ -24,6 +24,7 @@ import (
 	"golapi/internal/analysis/ctxflow"
 	"golapi/internal/analysis/handlerblock"
 	"golapi/internal/analysis/poollifetime"
+	"golapi/internal/analysis/shardshare"
 	"golapi/internal/analysis/simdeterminism"
 )
 
@@ -33,6 +34,7 @@ var suite = []*analysis.Analyzer{
 	ctxflow.Analyzer,
 	simdeterminism.Analyzer,
 	poollifetime.Analyzer,
+	shardshare.Analyzer,
 }
 
 func main() {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	perfbench [-quick] [-o BENCH_hotpath.json]
+//	perfbench [-quick] [-serial] [-workers N] [-o BENCH_hotpath.json]
 package main
 
 import (
@@ -17,22 +17,36 @@ import (
 	"os"
 
 	"golapi/internal/bench"
+	"golapi/internal/parallel"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced iteration counts (CI smoke run)")
+	serial := flag.Bool("serial", false, "use a one-worker sweep executor for the *_parallel numbers")
+	workers := flag.Int("workers", 0, "sweep executor workers (0 = GOMAXPROCS)")
 	out := flag.String("o", "", "write the report as JSON to this file")
 	flag.Parse()
 	log.SetFlags(0)
 
-	r, err := bench.MeasureHotpath(*quick)
+	px := parallel.Default()
+	if *workers > 0 {
+		px = parallel.New(*workers)
+	}
+	if *serial {
+		px = parallel.New(1)
+	}
+
+	r, err := bench.MeasureHotpath(px, *quick)
 	if err != nil {
 		log.Fatalf("perfbench: %v", err)
 	}
 
 	fmt.Printf("engine:  %.0f events/s (%.0f ns/event, %d events)\n",
 		r.EngineEventsPerSec, r.EngineNsPerEvent, r.EngineEvents)
-	fmt.Printf("table2:  %.1f ms wall-clock for the full sweep\n", r.Table2WallMs)
+	fmt.Printf("table2:  %.1f ms wall-clock serial, %.1f ms on %d workers\n",
+		r.Table2WallMs, r.Table2WallMsParallel, r.ParallelWorkers)
+	fmt.Printf("sweep:   %.1f ms serial, %.1f ms parallel -> %.2fx speedup (%d workers, %d CPUs)\n",
+		r.SweepWallMsSerial, r.SweepWallMsParallel, r.SweepSpeedup, r.ParallelWorkers, r.NumCPU)
 	fmt.Printf("tcp:     %.0f msgs/s (4-byte PutSync, loopback), %.1f allocs/msg\n",
 		r.TCPMsgsPerSec, r.TCPAllocsPerMsg)
 	fmt.Printf("sim:     %.1f allocs/msg (4-byte PutSync, simulated switch)\n",

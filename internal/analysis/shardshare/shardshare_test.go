@@ -1,0 +1,13 @@
+package shardshare_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"golapi/internal/analysis/analysistest"
+	"golapi/internal/analysis/shardshare"
+)
+
+func TestShardshare(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "ss"), shardshare.Analyzer)
+}

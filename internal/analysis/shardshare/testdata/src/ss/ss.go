@@ -1,0 +1,83 @@
+// Package ss is the shardshare golden test: writes to package-level state
+// from inside parallel sweep jobs — direct, through an element or field, or
+// via a callee — must be flagged; self-contained jobs and writes outside
+// job bodies are clean.
+package ss
+
+import (
+	"sync"
+
+	"golapi/internal/parallel"
+)
+
+var (
+	counter int
+	table   = make([]float64, 8)
+	limits  = struct{ hi int }{hi: 10}
+	results map[int]float64
+
+	mu    sync.Mutex
+	cache = map[int]float64{}
+)
+
+// directWrites shows the three basic write shapes inside a job literal.
+func directWrites(px *parallel.Executor) error {
+	return parallel.ForEach(px, 8, func(i int) error {
+		counter++                   // want `sweep job writes package-level state ss\.counter`
+		table[i] = float64(i)       // want `sweep job writes package-level state ss\.table`
+		limits.hi = i               // want `sweep job writes package-level state ss\.limits`
+		results[i] = float64(i) * 2 // want `sweep job writes package-level state ss\.results`
+		return nil
+	})
+}
+
+// localState is clean: every sweep point owns its state, results are
+// committed through Map's ordered return value.
+func localState(px *parallel.Executor) ([]float64, error) {
+	return parallel.Map(px, 8, func(i int) (float64, error) {
+		acc := 0.0
+		for k := 0; k < i; k++ {
+			acc += float64(k)
+		}
+		return acc, nil
+	})
+}
+
+// bumpCounter is the indirect write target.
+func bumpCounter() { counter++ }
+
+// viaHelper reaches the shared write through a callee chain.
+func viaHelper(px *parallel.Executor) error {
+	return parallel.ForEach(px, 4, func(i int) error {
+		bumpCounter() // want `sweep job writes package-level state ss\.counter via bumpCounter`
+		return nil
+	})
+}
+
+// namedJob writes shared state and is passed by name rather than as a
+// literal; the diagnostic lands on the argument.
+func namedJob(i int) error {
+	table[i] = 1
+	return nil
+}
+
+func namedJobUse(px *parallel.Executor) error {
+	return parallel.ForEach(px, 4, namedJob) // want `sweep job writes package-level state ss\.table via namedJob`
+}
+
+// guardedCache shows the escape hatch for intentionally shared state.
+func guardedCache(px *parallel.Executor) error {
+	return parallel.ForEach(px, 4, func(i int) error {
+		mu.Lock()
+		cache[i] = float64(i) //lapivet:ignore shardshare mutex-guarded memo cache, shared on purpose
+		mu.Unlock()
+		return nil
+	})
+}
+
+// serialWrite is clean: package-level writes outside a sweep job are the
+// caller's business (single-goroutine setup code).
+func serialWrite() {
+	counter = 0
+	results = make(map[int]float64)
+}

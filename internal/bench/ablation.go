@@ -8,6 +8,7 @@ import (
 	"golapi/internal/exec"
 	"golapi/internal/ga"
 	"golapi/internal/lapi"
+	"golapi/internal/parallel"
 )
 
 // Ablations: experiments beyond the paper's figures that isolate the
@@ -26,27 +27,34 @@ type VectorAblationPoint struct {
 }
 
 // MeasureVectorAblation sweeps 2-D request sizes under both protocol
-// stacks.
-func MeasureVectorAblation(sizes []int) ([]VectorAblationPoint, error) {
+// stacks; each (size, op, protocol) cell is an independent simulation
+// fanned out on px's workers.
+func MeasureVectorAblation(px *parallel.Executor, sizes []int) ([]VectorAblationPoint, error) {
+	series := []struct {
+		op  string
+		vec bool
+		out func(*VectorAblationPoint) *float64
+	}{
+		{"put", false, func(p *VectorAblationPoint) *float64 { return &p.PutAM }},
+		{"put", true, func(p *VectorAblationPoint) *float64 { return &p.PutVector }},
+		{"get", false, func(p *VectorAblationPoint) *float64 { return &p.GetAM }},
+		{"get", true, func(p *VectorAblationPoint) *float64 { return &p.GetVector }},
+	}
 	points := make([]VectorAblationPoint, len(sizes))
 	for i, s := range sizes {
 		points[i].Bytes = s
-		for _, c := range []struct {
-			op  string
-			vec bool
-			out *float64
-		}{
-			{"put", false, &points[i].PutAM},
-			{"put", true, &points[i].PutVector},
-			{"get", false, &points[i].GetAM},
-			{"get", true, &points[i].GetVector},
-		} {
-			bw, err := gaBandwidthCfg(c.op, s, true, c.vec, ga.DefaultConfig())
-			if err != nil {
-				return nil, err
-			}
-			*c.out = bw
+	}
+	err := parallel.ForEach(px, len(sizes)*len(series), func(j int) error {
+		i, k := j/len(series), j%len(series)
+		bw, err := gaBandwidthCfg(series[k].op, sizes[i], true, series[k].vec, ga.DefaultConfig())
+		if err != nil {
+			return err
 		}
+		*series[k].out(&points[i]) = bw
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }
@@ -128,19 +136,14 @@ type ChunkAblationPoint struct {
 }
 
 // MeasureChunkAblation sweeps the AM chunk size at a fixed 32 KB 2-D
-// request.
-func MeasureChunkAblation(chunks []int) ([]ChunkAblationPoint, error) {
-	points := make([]ChunkAblationPoint, len(chunks))
-	for i, cb := range chunks {
+// request, one sweep point per chunk size on px's workers.
+func MeasureChunkAblation(px *parallel.Executor, chunks []int) ([]ChunkAblationPoint, error) {
+	return parallel.Map(px, len(chunks), func(i int) (ChunkAblationPoint, error) {
 		cfg := ga.DefaultConfig()
-		cfg.AMChunkBytes = cb
+		cfg.AMChunkBytes = chunks[i]
 		bw, err := gaBandwidthCfg("put", 32768, true, false, cfg)
-		if err != nil {
-			return nil, err
-		}
-		points[i] = ChunkAblationPoint{ChunkBytes: cb, PutMBs: bw}
-	}
-	return points, nil
+		return ChunkAblationPoint{ChunkBytes: chunks[i], PutMBs: bw}, err
+	})
 }
 
 // SwitchAblationPoint shows the effect of the direct-protocol switch
@@ -151,20 +154,16 @@ type SwitchAblationPoint struct {
 }
 
 // MeasureSwitchAblation sweeps DirectSwitchBytes at a fixed 512 KB 2-D
-// request: thresholds above the request size force the AM protocol;
-// thresholds below it use per-row direct transfers.
-func MeasureSwitchAblation(thresholds []int) ([]SwitchAblationPoint, error) {
-	points := make([]SwitchAblationPoint, len(thresholds))
-	for i, th := range thresholds {
+// request, one sweep point per threshold on px's workers: thresholds
+// above the request size force the AM protocol; thresholds below it use
+// per-row direct transfers.
+func MeasureSwitchAblation(px *parallel.Executor, thresholds []int) ([]SwitchAblationPoint, error) {
+	return parallel.Map(px, len(thresholds), func(i int) (SwitchAblationPoint, error) {
 		cfg := ga.DefaultConfig()
-		cfg.DirectSwitchBytes = th
+		cfg.DirectSwitchBytes = thresholds[i]
 		bw, err := gaBandwidthCfg("get", 512*1024, true, false, cfg)
-		if err != nil {
-			return nil, err
-		}
-		points[i] = SwitchAblationPoint{ThresholdBytes: th, GetMBs: bw}
-	}
-	return points, nil
+		return SwitchAblationPoint{ThresholdBytes: thresholds[i], GetMBs: bw}, err
+	})
 }
 
 // FormatVectorAblation renders the vector-ops comparison.

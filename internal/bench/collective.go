@@ -9,6 +9,7 @@ import (
 	"golapi/internal/exec"
 	"golapi/internal/lapi"
 	"golapi/internal/mpi"
+	"golapi/internal/parallel"
 	"golapi/internal/switchnet"
 )
 
@@ -44,18 +45,13 @@ var (
 const collReps = 8
 
 // MeasureCollective sweeps the allreduce schedules over tasks × sizes.
-func MeasureCollective(tasks, sizes []int) ([]CollectivePoint, error) {
-	var points []CollectivePoint
-	for _, n := range tasks {
-		for _, size := range sizes {
-			p, err := measureCollectiveAt(n, size)
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, p)
-		}
-	}
-	return points, nil
+// Each (tasks, size) cell is an independent simulation and runs as one
+// sweep point on px's workers (nil px runs the cells serially); results
+// are committed in sweep order, so the output matches a serial run.
+func MeasureCollective(px *parallel.Executor, tasks, sizes []int) ([]CollectivePoint, error) {
+	return parallel.Map(px, len(tasks)*len(sizes), func(i int) (CollectivePoint, error) {
+		return measureCollectiveAt(tasks[i/len(sizes)], sizes[i%len(sizes)])
+	})
 }
 
 func measureCollectiveAt(n, size int) (CollectivePoint, error) {

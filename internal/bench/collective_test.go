@@ -7,6 +7,7 @@ import (
 	"golapi/internal/collective"
 	"golapi/internal/exec"
 	"golapi/internal/lapi"
+	"golapi/internal/parallel"
 	"golapi/internal/stats"
 )
 
@@ -16,7 +17,7 @@ import (
 // baseline there, and AlgAuto's crossover matches the measurements.
 func TestCollectiveSweepShape(t *testing.T) {
 	const small, large = 512, 131072
-	pts, err := MeasureCollective([]int{4, 8}, []int{small, large})
+	pts, err := MeasureCollective(parallel.New(2), []int{4, 8}, []int{small, large})
 	if err != nil {
 		t.Fatal(err)
 	}

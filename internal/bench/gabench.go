@@ -11,6 +11,7 @@ import (
 	"golapi/internal/lapi"
 	"golapi/internal/mpi"
 	"golapi/internal/mpl"
+	"golapi/internal/parallel"
 	"golapi/internal/switchnet"
 )
 
@@ -60,14 +61,14 @@ type GALatency struct {
 }
 
 // MeasureGALatency runs the 4-node single-element benchmark on both
-// backends.
-func MeasureGALatency() (GALatency, error) {
+// backends (two independent simulations, fanned out on px's workers).
+func MeasureGALatency(px *parallel.Executor) (GALatency, error) {
 	var out GALatency
-	var err error
-	if out.LAPIGet, out.LAPIPut, err = gaElementLatency("LAPI"); err != nil {
-		return out, err
+	jobs := []func() error{
+		func() (err error) { out.LAPIGet, out.LAPIPut, err = gaElementLatency("LAPI"); return },
+		func() (err error) { out.MPLGet, out.MPLPut, err = gaElementLatency("MPL"); return },
 	}
-	out.MPLGet, out.MPLPut, err = gaElementLatency("MPL")
+	err := parallel.ForEach(px, len(jobs), func(i int) error { return jobs[i]() })
 	return out, err
 }
 
@@ -126,35 +127,44 @@ func Figure34Sizes() []int {
 }
 
 // MeasureFigure3 reproduces Figure 3 (GA put bandwidth).
-func MeasureFigure3(sizes []int) ([]GABandwidthPoint, error) {
-	return measureGABandwidth(sizes, "put")
+func MeasureFigure3(px *parallel.Executor, sizes []int) ([]GABandwidthPoint, error) {
+	return measureGABandwidth(px, sizes, "put")
 }
 
 // MeasureFigure4 reproduces Figure 4 (GA get bandwidth).
-func MeasureFigure4(sizes []int) ([]GABandwidthPoint, error) {
-	return measureGABandwidth(sizes, "get")
+func MeasureFigure4(px *parallel.Executor, sizes []int) ([]GABandwidthPoint, error) {
+	return measureGABandwidth(px, sizes, "get")
 }
 
-func measureGABandwidth(sizes []int, op string) ([]GABandwidthPoint, error) {
+// measureGABandwidth sweeps sizes × the four (backend, dimensionality)
+// series; each cell is an independent 4-node simulation and runs as one
+// sweep point on px's workers.
+func measureGABandwidth(px *parallel.Executor, sizes []int, op string) ([]GABandwidthPoint, error) {
+	series := []struct {
+		backend string
+		twoD    bool
+		out     func(*GABandwidthPoint) *float64
+	}{
+		{"LAPI", false, func(p *GABandwidthPoint) *float64 { return &p.LAPI1D }},
+		{"LAPI", true, func(p *GABandwidthPoint) *float64 { return &p.LAPI2D }},
+		{"MPL", false, func(p *GABandwidthPoint) *float64 { return &p.MPL1D }},
+		{"MPL", true, func(p *GABandwidthPoint) *float64 { return &p.MPL2D }},
+	}
 	points := make([]GABandwidthPoint, len(sizes))
 	for i, s := range sizes {
 		points[i].Bytes = s
-		for _, cfg := range []struct {
-			backend string
-			twoD    bool
-			out     *float64
-		}{
-			{"LAPI", false, &points[i].LAPI1D},
-			{"LAPI", true, &points[i].LAPI2D},
-			{"MPL", false, &points[i].MPL1D},
-			{"MPL", true, &points[i].MPL2D},
-		} {
-			bw, err := gaBandwidth(cfg.backend, op, s, cfg.twoD)
-			if err != nil {
-				return nil, err
-			}
-			*cfg.out = bw
+	}
+	err := parallel.ForEach(px, len(sizes)*len(series), func(j int) error {
+		i, k := j/len(series), j%len(series)
+		bw, err := gaBandwidth(series[k].backend, op, sizes[i], series[k].twoD)
+		if err != nil {
+			return err
 		}
+		*series[k].out(&points[i]) = bw
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }
@@ -239,18 +249,19 @@ type AppResult struct {
 	Improvement float64 // percent reduction vs MPL
 }
 
-// MeasureApplication runs the SCF-like kernel on both backends. The kernel
-// is a dynamically load-balanced blocked matrix contraction: tasks draw
-// (i,j) block tickets with ReadInc, get the needed A and B blocks, do the
-// local block product (charged at P2SC-era flop rates), and accumulate into
-// C — the GA operation mix (§5.1) of the electronic-structure codes.
-func MeasureApplication() (AppResult, error) {
+// MeasureApplication runs the SCF-like kernel on both backends (fanned
+// out on px's workers). The kernel is a dynamically load-balanced blocked
+// matrix contraction: tasks draw (i,j) block tickets with ReadInc, get
+// the needed A and B blocks, do the local block product (charged at
+// P2SC-era flop rates), and accumulate into C — the GA operation mix
+// (§5.1) of the electronic-structure codes.
+func MeasureApplication(px *parallel.Executor) (AppResult, error) {
 	var out AppResult
-	var err error
-	if out.LAPITime, err = scfKernel("LAPI"); err != nil {
-		return out, err
+	jobs := []func() error{
+		func() (err error) { out.LAPITime, err = scfKernel("LAPI"); return },
+		func() (err error) { out.MPLTime, err = scfKernel("MPL"); return },
 	}
-	if out.MPLTime, err = scfKernel("MPL"); err != nil {
+	if err := parallel.ForEach(px, len(jobs), func(i int) error { return jobs[i]() }); err != nil {
 		return out, err
 	}
 	out.Improvement = 100 * (1 - out.LAPITime.Seconds()/out.MPLTime.Seconds())

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"golapi/internal/cluster"
+	"golapi/internal/exec"
+	"golapi/internal/lapi"
+	"golapi/internal/parallel"
+	"golapi/internal/switchnet"
+)
+
+// Tier B experiment: one single mesh partitioned across sub-engines
+// (conservative lookahead, cluster.ShardedSim) instead of many meshes
+// across sweep workers. The interesting outputs are the equality check —
+// the sharded run must reproduce the serial run's virtual times exactly —
+// and the wall-clock ratio on multicore hosts.
+
+// MeshResult is one parallel-mesh run compared against its serial twin.
+type MeshResult struct {
+	Ranks  int
+	Shards int
+	Rounds int // puts per rank
+	Size   int // bytes per put
+
+	// Completion is the serial run's virtual time at which the last
+	// rank's final fence completed.
+	Completion time.Duration
+	// Matches reports whether every rank's fence-completion instant in
+	// the sharded run equals the serial run's (the determinism gate).
+	Matches bool
+
+	// Wall-clock milliseconds for the simulation phase of each run.
+	WallSerialMs  float64
+	WallShardedMs float64
+}
+
+// meshMain returns the reference workload: every rank streams rounds puts
+// of size bytes to its ring successor, fences, and records its completion
+// instant in done[rank].
+func meshMain(rounds, size int, done []time.Duration) func(ctx exec.Context, t *lapi.Task) {
+	return func(ctx exec.Context, t *lapi.Task) {
+		buf := t.Alloc(size * rounds)
+		addrs, err := t.AddressInit(ctx, buf)
+		if err != nil {
+			panic(err)
+		}
+		next := (t.Self() + 1) % t.N()
+		src := make([]byte, size)
+		for i := range src {
+			src[i] = byte(t.Self() + i)
+		}
+		for r := 0; r < rounds; r++ {
+			t.PutSync(ctx, next, addrs[next]+lapi.Addr(r*size), src, lapi.NoCounter)
+		}
+		t.Gfence(ctx)
+		done[t.Self()] = ctx.Now()
+	}
+}
+
+// MeasureMesh runs the ring workload on ranks tasks, serial and sharded
+// across shards sub-engines, and compares the runs' virtual times.
+func MeasureMesh(ranks, shards, rounds, size int) (MeshResult, error) {
+	out := MeshResult{Ranks: ranks, Shards: shards, Rounds: rounds, Size: size}
+
+	serial := make([]time.Duration, ranks)
+	j, err := cluster.NewSimDefault(ranks)
+	if err != nil {
+		return out, err
+	}
+	start := time.Now() //lapivet:ignore simdeterminism wall-clock harness benchmark; measures the simulator from outside
+	if err := j.Run(meshMain(rounds, size, serial)); err != nil {
+		return out, err
+	}
+	out.WallSerialMs = float64(time.Since(start).Microseconds()) / 1e3 //lapivet:ignore simdeterminism wall-clock harness benchmark
+	for _, d := range serial {
+		if d > out.Completion {
+			out.Completion = d
+		}
+	}
+
+	sharded := make([]time.Duration, ranks)
+	sj, err := cluster.NewShardedSim(parallel.New(shards), shards, ranks, switchnet.DefaultConfig(), lapi.DefaultConfig())
+	if err != nil {
+		return out, err
+	}
+	start = time.Now() //lapivet:ignore simdeterminism wall-clock harness benchmark
+	if err := sj.Run(meshMain(rounds, size, sharded)); err != nil {
+		return out, err
+	}
+	out.WallShardedMs = float64(time.Since(start).Microseconds()) / 1e3 //lapivet:ignore simdeterminism wall-clock harness benchmark
+
+	out.Matches = true
+	for r := range serial {
+		if sharded[r] != serial[r] {
+			out.Matches = false
+		}
+	}
+	return out, nil
+}
+
+// FormatMesh renders the comparison.
+func FormatMesh(m MeshResult) string {
+	verdict := "IDENTICAL"
+	if !m.Matches {
+		verdict = "DIVERGED"
+	}
+	s := "Parallel mesh (Tier B): one fabric sharded across sub-engines\n"
+	s += fmt.Sprintf("%d ranks x %d puts x %d B, %d shards\n", m.Ranks, m.Rounds, m.Size, m.Shards)
+	s += fmt.Sprintf("virtual completion %v, virtual times vs serial: %s\n", m.Completion, verdict)
+	s += fmt.Sprintf("wall clock: serial %.2f ms, sharded %.2f ms\n", m.WallSerialMs, m.WallShardedMs)
+	return s
+}

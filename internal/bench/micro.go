@@ -15,6 +15,7 @@ import (
 	"golapi/internal/lapi"
 	"golapi/internal/mpi"
 	"golapi/internal/mpl"
+	"golapi/internal/parallel"
 	"golapi/internal/switchnet"
 )
 
@@ -31,23 +32,20 @@ type Table2 struct {
 
 const latencyReps = 32
 
-// MeasureTable2 reproduces Table 2.
-func MeasureTable2() (Table2, error) {
+// MeasureTable2 reproduces Table 2. The four measurements are independent
+// simulations (each builds its own cluster), so they run as sweep points
+// on px's workers; px may be nil for a serial run — the numbers are
+// virtual time and identical either way.
+func MeasureTable2(px *parallel.Executor) (Table2, error) {
 	var out Table2
-	var err error
-	if out.LAPIPolling, out.LAPIPollingRT, err = lapiLatency(lapi.Polling); err != nil {
-		return out, err
+	jobs := []func() error{
+		func() (err error) { out.LAPIPolling, out.LAPIPollingRT, err = lapiLatency(lapi.Polling); return },
+		func() (err error) { _, out.LAPIInterruptRT, err = lapiLatency(lapi.Interrupt); return },
+		func() (err error) { out.MPIPolling, out.MPIPollingRT, err = mpiLatency(); return },
+		func() (err error) { out.MPLInterruptRT, err = mplRcvncallRT(); return },
 	}
-	if _, out.LAPIInterruptRT, err = lapiLatency(lapi.Interrupt); err != nil {
-		return out, err
-	}
-	if out.MPIPolling, out.MPIPollingRT, err = mpiLatency(); err != nil {
-		return out, err
-	}
-	if out.MPLInterruptRT, err = mplRcvncallRT(); err != nil {
-		return out, err
-	}
-	return out, nil
+	err := parallel.ForEach(px, len(jobs), func(i int) error { return jobs[i]() })
+	return out, err
 }
 
 // lapiLatency measures one-way and round-trip latency for 4-byte LAPI puts
@@ -272,21 +270,31 @@ func Figure2Sizes() []int {
 	return sizes
 }
 
-// MeasureFigure2 reproduces Figure 2's bandwidth curves.
-func MeasureFigure2(sizes []int) ([]BandwidthPoint, error) {
+// MeasureFigure2 reproduces Figure 2's bandwidth curves. Every (size,
+// series) pair is an independent simulation, so the sweep fans out to
+// 3·len(sizes) points on px's workers (nil px runs serially); results
+// land in their input slots, keeping the output identical to a serial
+// sweep.
+func MeasureFigure2(px *parallel.Executor, sizes []int) ([]BandwidthPoint, error) {
 	points := make([]BandwidthPoint, len(sizes))
 	for i, s := range sizes {
 		points[i].Size = s
+	}
+	err := parallel.ForEach(px, 3*len(sizes), func(j int) error {
+		i, series := j/3, j%3
 		var err error
-		if points[i].LAPI, err = lapiBandwidth(s); err != nil {
-			return nil, err
+		switch series {
+		case 0:
+			points[i].LAPI, err = lapiBandwidth(sizes[i])
+		case 1:
+			points[i].MPIDefault, err = mpiBandwidth(sizes[i], 4096)
+		default:
+			points[i].MPIEager64, err = mpiBandwidth(sizes[i], 65536)
 		}
-		if points[i].MPIDefault, err = mpiBandwidth(s, 4096); err != nil {
-			return nil, err
-		}
-		if points[i].MPIEager64, err = mpiBandwidth(s, 65536); err != nil {
-			return nil, err
-		}
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return points, nil
 }
@@ -422,6 +430,17 @@ func FormatFigure2(points []BandwidthPoint) string {
 	s += fmt.Sprintf("half-peak size: LAPI %d B, MPI(eager64K) %d B\n",
 		HalfPeakSize(points, func(p BandwidthPoint) float64 { return p.LAPI }),
 		HalfPeakSize(points, func(p BandwidthPoint) float64 { return p.MPIEager64 }))
+	return s
+}
+
+// CSVTable2 renders Table 2 as CSV (the byte-diffable form the
+// make-determinism gate compares between serial and parallel sweeps).
+func CSVTable2(t Table2) string {
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	s := "measurement,lapi_us,mpi_us\n"
+	s += fmt.Sprintf("polling,%.3f,%.3f\n", us(t.LAPIPolling), us(t.MPIPolling))
+	s += fmt.Sprintf("polling_round_trip,%.3f,%.3f\n", us(t.LAPIPollingRT), us(t.MPIPollingRT))
+	s += fmt.Sprintf("interrupt_round_trip,%.3f,%.3f\n", us(t.LAPIInterruptRT), us(t.MPLInterruptRT))
 	return s
 }
 

@@ -14,6 +14,7 @@ import (
 	"golapi/internal/cluster"
 	"golapi/internal/exec"
 	"golapi/internal/lapi"
+	"golapi/internal/parallel"
 	"golapi/internal/sim"
 )
 
@@ -22,7 +23,14 @@ import (
 type HotpathReport struct {
 	GoVersion  string `json:"go_version"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
-	Quick      bool   `json:"quick"` // reduced iteration counts (CI smoke run)
+	// NumCPU distinguishes "pinned to one core" from "a one-core
+	// machine": a GOMAXPROCS=1 record is only a scaling baseline when
+	// NumCPU says more cores existed.
+	NumCPU int  `json:"num_cpu"`
+	Quick  bool `json:"quick"` // reduced iteration counts (CI smoke run)
+	// ParallelWorkers is the sweep executor's worker count for the
+	// *_parallel numbers below.
+	ParallelWorkers int `json:"parallel_workers"`
 
 	// Simulator event engine: schedule-then-drain of timer events, the
 	// inner loop of every virtual-time experiment.
@@ -31,8 +39,17 @@ type HotpathReport struct {
 	EngineEventsPerSec float64 `json:"engine_events_per_sec"`
 
 	// Wall-clock time to reproduce the paper's Table 2 (the end-to-end
-	// sweep a developer waits on), in milliseconds.
-	Table2WallMs float64 `json:"table2_wall_ms"`
+	// sweep a developer waits on), in milliseconds: serial, then on the
+	// parallel sweep executor.
+	Table2WallMs         float64 `json:"table2_wall_ms"`
+	Table2WallMsParallel float64 `json:"table2_wall_ms_parallel"`
+
+	// The full experiment sweep (Table 2 + Figure 2 + collective),
+	// serial vs parallel, and the resulting speedup — the scaling number
+	// the perf trajectory tracks.
+	SweepWallMsSerial   float64 `json:"sweep_wall_ms_serial"`
+	SweepWallMsParallel float64 `json:"sweep_wall_ms_parallel"`
+	SweepSpeedup        float64 `json:"sweep_speedup"`
 
 	// Real-TCP loopback LAPI: 4-byte PutSync round trips.
 	TCPMsgs         int     `json:"tcp_msgs"`
@@ -43,13 +60,41 @@ type HotpathReport struct {
 	SimAllocsPerMsg float64 `json:"sim_allocs_per_msg"`
 }
 
-// MeasureHotpath runs the wall-clock suite. quick shrinks iteration counts
-// to smoke-test levels (sub-second total) for make check.
-func MeasureHotpath(quick bool) (HotpathReport, error) {
+// sweepOnce runs the wall-clock reference sweep (Table 2 + Figure 2 +
+// collective) on the given executor. quick trims the swept sizes so make
+// check stays fast; the serial/parallel comparison always trims both
+// sides identically.
+func sweepOnce(px *parallel.Executor, quick bool) error {
+	fig2 := Figure2Sizes()
+	tasks, sizes := DefaultCollectiveTasks, DefaultCollectiveSizes
+	if quick {
+		fig2 = []int{1024, 65536}
+		tasks, sizes = []int{4}, []int{64, 4096}
+	}
+	if _, err := MeasureTable2(px); err != nil {
+		return err
+	}
+	if _, err := MeasureFigure2(px, fig2); err != nil {
+		return err
+	}
+	_, err := MeasureCollective(px, tasks, sizes)
+	return err
+}
+
+// MeasureHotpath runs the wall-clock suite. px is the sweep executor used
+// for the *_parallel numbers (nil falls back to GOMAXPROCS workers);
+// quick shrinks iteration counts to smoke-test levels (seconds total) for
+// make check.
+func MeasureHotpath(px *parallel.Executor, quick bool) (HotpathReport, error) {
+	if px == nil {
+		px = parallel.Default()
+	}
 	r := HotpathReport{
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Quick:      quick,
+		GoVersion:       runtime.Version(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		Quick:           quick,
+		ParallelWorkers: px.Workers(),
 	}
 	events, msgs, allocRuns := 2_000_000, 20_000, 200
 	if quick {
@@ -64,21 +109,38 @@ func MeasureHotpath(quick bool) (HotpathReport, error) {
 	r.EngineNsPerEvent = float64(elapsed.Nanoseconds()) / float64(events)
 	r.EngineEventsPerSec = float64(events) / elapsed.Seconds()
 
-	start := time.Now() //lapivet:ignore simdeterminism wall-clock harness benchmark; measures the simulator from outside
-	if _, err := MeasureTable2(); err != nil {
+	wallMs := func(fn func() error) (float64, error) {
+		start := time.Now() //lapivet:ignore simdeterminism wall-clock harness benchmark; measures the simulator from outside
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		return float64(time.Since(start).Microseconds()) / 1e3, nil //lapivet:ignore simdeterminism wall-clock harness benchmark
+	}
+	if r.Table2WallMs, err = wallMs(func() error { _, err := MeasureTable2(nil); return err }); err != nil {
 		return r, err
 	}
-	r.Table2WallMs = float64(time.Since(start).Microseconds()) / 1e3 //lapivet:ignore simdeterminism wall-clock harness benchmark
+	if r.Table2WallMsParallel, err = wallMs(func() error { _, err := MeasureTable2(px); return err }); err != nil {
+		return r, err
+	}
+	if r.SweepWallMsSerial, err = wallMs(func() error { return sweepOnce(nil, quick) }); err != nil {
+		return r, err
+	}
+	if r.SweepWallMsParallel, err = wallMs(func() error { return sweepOnce(px, quick) }); err != nil {
+		return r, err
+	}
+	if r.SweepWallMsParallel > 0 {
+		r.SweepSpeedup = r.SweepWallMsSerial / r.SweepWallMsParallel
+	}
 
 	r.TCPMsgs = msgs
-	tcpElapsed, tcpAllocs, err := tcpPutRate(msgs, allocRuns)
+	tcpElapsed, tcpAllocs, err := tcpPutRate(px, msgs, allocRuns)
 	if err != nil {
 		return r, err
 	}
 	r.TCPMsgsPerSec = float64(msgs) / tcpElapsed.Seconds()
 	r.TCPAllocsPerMsg = tcpAllocs
 
-	if r.SimAllocsPerMsg, err = simPutAllocs(allocRuns); err != nil {
+	if r.SimAllocsPerMsg, err = simPutAllocs(px, allocRuns); err != nil {
 		return r, err
 	}
 	return r, nil
@@ -101,8 +163,10 @@ func engineEventRate(n int) (time.Duration, error) {
 
 // tcpPutRate drives msgs synchronous 4-byte Puts between two real-TCP
 // loopback tasks, returning wall time for the timed run and the steady-
-// state allocation count per Put (origin-side, all goroutines).
-func tcpPutRate(msgs, allocRuns int) (elapsed time.Duration, allocsPerMsg float64, err error) {
+// state allocation count per Put (origin-side, all goroutines). The
+// AllocsPerRun measurement counts mallocs process-wide, so it runs on
+// px's exclusive lane: no sweep worker may execute concurrently.
+func tcpPutRate(px *parallel.Executor, msgs, allocRuns int) (elapsed time.Duration, allocsPerMsg float64, err error) {
 	j, err := cluster.NewTCPLAPI(2, lapi.ZeroCost())
 	if err != nil {
 		return 0, 0, err
@@ -119,8 +183,10 @@ func tcpPutRate(msgs, allocRuns int) (elapsed time.Duration, allocsPerMsg float6
 			for i := 0; i < 32; i++ { // warm pools, maps, connections
 				t.PutSync(ctx, 1, addrs[1], src, lapi.NoCounter)
 			}
-			allocsPerMsg = testing.AllocsPerRun(allocRuns, func() {
-				t.PutSync(ctx, 1, addrs[1], src, lapi.NoCounter)
+			px.Exclusive(func() {
+				allocsPerMsg = testing.AllocsPerRun(allocRuns, func() {
+					t.PutSync(ctx, 1, addrs[1], src, lapi.NoCounter)
+				})
 			})
 			start := time.Now() //lapivet:ignore simdeterminism wall-clock harness benchmark; real-TCP path never runs simulated
 			for i := 0; i < msgs; i++ {
@@ -134,8 +200,9 @@ func tcpPutRate(msgs, allocRuns int) (elapsed time.Duration, allocsPerMsg float6
 }
 
 // simPutAllocs measures steady-state allocations per synchronous 4-byte
-// Put on the simulated switch (two tasks, default SP parameters).
-func simPutAllocs(allocRuns int) (allocsPerMsg float64, err error) {
+// Put on the simulated switch (two tasks, default SP parameters), on px's
+// exclusive lane (see tcpPutRate).
+func simPutAllocs(px *parallel.Executor, allocRuns int) (allocsPerMsg float64, err error) {
 	j, err := cluster.NewSimDefault(2)
 	if err != nil {
 		return 0, err
@@ -152,8 +219,10 @@ func simPutAllocs(allocRuns int) (allocsPerMsg float64, err error) {
 			for i := 0; i < 32; i++ {
 				t.PutSync(ctx, 1, addrs[1], src, lapi.NoCounter)
 			}
-			allocsPerMsg = testing.AllocsPerRun(allocRuns, func() {
-				t.PutSync(ctx, 1, addrs[1], src, lapi.NoCounter)
+			px.Exclusive(func() {
+				allocsPerMsg = testing.AllocsPerRun(allocRuns, func() {
+					t.PutSync(ctx, 1, addrs[1], src, lapi.NoCounter)
+				})
 			})
 		}
 		t.Gfence(ctx)

@@ -7,6 +7,7 @@ import (
 	"golapi/internal/cluster"
 	"golapi/internal/exec"
 	"golapi/internal/lapi"
+	"golapi/internal/parallel"
 )
 
 // Scalability experiments. The paper's microbenchmarks use 2-4 nodes but
@@ -28,17 +29,12 @@ type ScalePoint struct {
 	AggregateMBs float64
 }
 
-// MeasureScale sweeps job sizes.
-func MeasureScale(sizes []int) ([]ScalePoint, error) {
-	points := make([]ScalePoint, len(sizes))
-	for i, n := range sizes {
-		p, err := measureScaleAt(n)
-		if err != nil {
-			return nil, err
-		}
-		points[i] = p
-	}
-	return points, nil
+// MeasureScale sweeps job sizes, one independent simulation per size, as
+// sweep points on px's workers (nil px runs serially, same numbers).
+func MeasureScale(px *parallel.Executor, sizes []int) ([]ScalePoint, error) {
+	return parallel.Map(px, len(sizes), func(i int) (ScalePoint, error) {
+		return measureScaleAt(sizes[i])
+	})
 }
 
 func measureScaleAt(n int) (ScalePoint, error) {

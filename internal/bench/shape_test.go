@@ -8,6 +8,8 @@ package bench
 
 import (
 	"testing"
+
+	"golapi/internal/parallel"
 )
 
 // within checks v is inside [lo, hi].
@@ -19,7 +21,7 @@ func within(t *testing.T, name string, v, lo, hi float64) {
 }
 
 func TestTable2Shape(t *testing.T) {
-	tb, err := MeasureTable2()
+	tb, err := MeasureTable2(parallel.New(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +77,7 @@ func fig2TestSizes() []int {
 }
 
 func TestFigure2Shape(t *testing.T) {
-	pts, err := MeasureFigure2(fig2TestSizes())
+	pts, err := MeasureFigure2(parallel.New(2), fig2TestSizes())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +126,7 @@ func TestFigure2Shape(t *testing.T) {
 
 	// Half-peak sizes: LAPI ≈8K, MPI ≈23K (we accept 16-32K); LAPI's
 	// must be at least 2x smaller — "LAPI bandwidth rises much faster".
-	full, err := MeasureFigure2(Figure2Sizes())
+	full, err := MeasureFigure2(parallel.New(2), Figure2Sizes())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +140,7 @@ func TestFigure2Shape(t *testing.T) {
 }
 
 func TestGALatencyShape(t *testing.T) {
-	l, err := MeasureGALatency()
+	l, err := MeasureGALatency(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +161,7 @@ func TestGALatencyShape(t *testing.T) {
 func fig34TestSizes() []int { return []int{2048, 32768, 131072, 2097152} }
 
 func TestFigure3Shape(t *testing.T) {
-	pts, err := MeasureFigure3(fig34TestSizes())
+	pts, err := MeasureFigure3(parallel.New(2), fig34TestSizes())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +212,7 @@ func TestFigure3Shape(t *testing.T) {
 }
 
 func TestFigure4Shape(t *testing.T) {
-	pts, err := MeasureFigure4(fig34TestSizes())
+	pts, err := MeasureFigure4(parallel.New(2), fig34TestSizes())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +236,7 @@ func TestApplicationShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("application kernel is the slowest experiment")
 	}
-	r, err := MeasureApplication()
+	r, err := MeasureApplication(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +248,7 @@ func TestVectorAblationShape(t *testing.T) {
 	// The §6 extension must deliver what the paper promised: removing
 	// "the overhead associated with multiple requests or the copy
 	// overhead in the AM-based implementations" for 2-D transfers.
-	pts, err := MeasureVectorAblation([]int{32768, 524288})
+	pts, err := MeasureVectorAblation(parallel.New(2), []int{32768, 524288})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -272,7 +274,7 @@ func TestSwitchAblationShape(t *testing.T) {
 	// size is not large enough to exploit the available network
 	// bandwidth") — the AM path still beats it there; the switch pays off
 	// only for much larger patches.
-	pts, err := MeasureSwitchAblation([]int{512 * 1024, 4 << 20})
+	pts, err := MeasureSwitchAblation(parallel.New(2), []int{512 * 1024, 4 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +285,7 @@ func TestSwitchAblationShape(t *testing.T) {
 }
 
 func TestScaleShape(t *testing.T) {
-	pts, err := MeasureScale([]int{2, 8, 32})
+	pts, err := MeasureScale(parallel.New(2), []int{2, 8, 32})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,113 @@
+// sharded.go assembles Tier B jobs: one simulated cluster partitioned
+// across several sub-engines and driven in conservative lookahead epochs
+// (parallel.RunEpochs over a switchnet.NewSharded fabric). The flow of a
+// run is identical to Job.Run — SPMD mains, close after the last main —
+// but each shard's ranks execute on a private engine, so independent
+// protocol activity on different shards can proceed on different cores.
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"golapi/internal/exec"
+	"golapi/internal/fabric"
+	"golapi/internal/lapi"
+	"golapi/internal/parallel"
+	"golapi/internal/sim"
+	"golapi/internal/switchnet"
+)
+
+// ShardedJob is a simulated cluster of communication tasks partitioned
+// across several sub-engines. Virtual-time behaviour matches Job for the
+// same workload and configuration (DESIGN.md §10 gives the argument); the
+// partitioning only changes which core executes which rank.
+type ShardedJob[T interface{ Close() error }] struct {
+	Engines []*sim.Engine
+	Switch  *switchnet.Switch
+	Tasks   []T
+	rts     []*exec.SimRuntime // one serialization domain per shard
+	px      *parallel.Executor
+}
+
+// ShardedSim is a sharded LAPI job (the common case).
+type ShardedSim = ShardedJob[*lapi.Task]
+
+// NewShardedJob builds an n-task cluster split into shards partitions,
+// running epochs on px's workers (nil px drives the shards serially —
+// useful for determinism checks, since results do not depend on worker
+// count). mk receives the task's rank so per-rank configuration (e.g. a
+// private tracer per task, required for deterministic trace collection
+// across shards) is possible; the runtime it receives is the rank's shard
+// runtime.
+func NewShardedJob[T interface{ Close() error }](px *parallel.Executor, shards, n int, scfg switchnet.Config, mk func(rank int, rt exec.Runtime, tr fabric.Transport) (T, error)) (*ShardedJob[T], error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one task, got %d", n)
+	}
+	if shards < 1 {
+		return nil, fmt.Errorf("cluster: need at least one shard, got %d", shards)
+	}
+	engines := make([]*sim.Engine, shards)
+	for i := range engines {
+		engines[i] = sim.NewEngine()
+	}
+	sw, err := switchnet.NewSharded(engines, n, scfg)
+	if err != nil {
+		return nil, err
+	}
+	j := &ShardedJob[T]{Engines: engines, Switch: sw, px: px}
+	j.rts = make([]*exec.SimRuntime, shards)
+	for i := range j.rts {
+		j.rts[i] = exec.NewSimRuntime(engines[i])
+	}
+	j.Tasks = make([]T, n)
+	for i := 0; i < n; i++ {
+		t, err := mk(i, j.rts[sw.ShardOf(i)], sw.Endpoint(i))
+		if err != nil {
+			return nil, err
+		}
+		j.Tasks[i] = t
+	}
+	return j, nil
+}
+
+// NewShardedSim builds an n-task sharded LAPI cluster.
+func NewShardedSim(px *parallel.Executor, shards, n int, scfg switchnet.Config, lcfg lapi.Config) (*ShardedSim, error) {
+	return NewShardedJob(px, shards, n, scfg, func(rank int, rt exec.Runtime, tr fabric.Transport) (*lapi.Task, error) {
+		return lapi.NewTask(rt, tr, lcfg)
+	})
+}
+
+// Run executes main once per task, SPMD style, and drives all shards in
+// lookahead epochs to completion. As in Job.Run, tasks are closed after
+// every main has returned (here: at the first global quiescence with all
+// mains done, which is virtually the same instant — a main that exits
+// while peers still need its services must synchronize first). Run
+// returns the epoch runner's verdict; a hung job yields the joined
+// *sim.DeadlockError of every shard that still has parked processes.
+func (j *ShardedJob[T]) Run(main func(ctx exec.Context, t T)) error {
+	var remaining atomic.Int64
+	remaining.Store(int64(len(j.Tasks)))
+	for i, t := range j.Tasks {
+		i, t := i, t
+		j.rts[j.Switch.ShardOf(i)].Go(fmt.Sprintf("main-%d", i), func(ctx exec.Context) {
+			main(ctx, t)
+			remaining.Add(-1)
+		})
+	}
+	closed := false
+	return parallel.RunEpochs(j.px, j.Engines, j.Switch.Lookahead(), j.Switch.TakeOutbox, func() bool {
+		if closed || remaining.Load() != 0 {
+			return false
+		}
+		// All mains returned and the fabric is idle: close every task.
+		// The engines are parked at the barrier, so touching task state
+		// from here cannot race; Close only wakes dispatcher processes
+		// (fresh events), which the next epochs drain.
+		closed = true
+		for _, t := range j.Tasks {
+			t.Close()
+		}
+		return true
+	})
+}

@@ -1,0 +1,166 @@
+package cluster
+
+import (
+	"time"
+
+	"testing"
+
+	"golapi/internal/exec"
+	"golapi/internal/fabric"
+	"golapi/internal/lapi"
+	"golapi/internal/parallel"
+	"golapi/internal/switchnet"
+	"golapi/internal/trace"
+)
+
+// meshWorkload is the Tier B reference workload: an 8-rank neighbour ring
+// where every rank streams puts to its successor and fences. It generates
+// sustained cross-rank (and, under sharding, cross-shard) traffic with
+// data, acks and fence packets in flight concurrently.
+func meshWorkload(rounds, size int) func(ctx exec.Context, t *lapi.Task) {
+	return func(ctx exec.Context, t *lapi.Task) {
+		buf := t.Alloc(size * rounds)
+		addrs, err := t.AddressInit(ctx, buf)
+		if err != nil {
+			panic(err)
+		}
+		next := (t.Self() + 1) % t.N()
+		src := make([]byte, size)
+		for i := range src {
+			src[i] = byte(t.Self() + i)
+		}
+		for r := 0; r < rounds; r++ {
+			t.PutSync(ctx, next, addrs[next]+lapi.Addr(r*size), src, lapi.NoCounter)
+		}
+		t.Gfence(ctx)
+	}
+}
+
+// runMeshTrace executes the workload on n ranks split across shards
+// (shards == 1 uses the plain single-engine Job — the serial reference)
+// and returns the canonical merged trace of per-rank tracers.
+func runMeshTrace(t *testing.T, shards, n int) []trace.Event {
+	t.Helper()
+	tracers := make([]*trace.Tracer, n)
+	for i := range tracers {
+		tracers[i] = trace.New(4096)
+	}
+	mk := func(rank int, rt exec.Runtime, tr fabric.Transport) (*lapi.Task, error) {
+		cfg := lapi.DefaultConfig()
+		cfg.Tracer = tracers[rank]
+		return lapi.NewTask(rt, tr, cfg)
+	}
+	main := meshWorkload(20, 512)
+	if shards == 1 {
+		rank := 0
+		j, err := NewJob(n, switchnet.DefaultConfig(), func(rt exec.Runtime, tr fabric.Transport) (*lapi.Task, error) {
+			r := rank
+			rank++
+			return mk(r, rt, tr)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Run(main); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		j, err := NewShardedJob(parallel.New(shards), shards, n, switchnet.DefaultConfig(), mk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Run(main); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return trace.Merge(tracers...)
+}
+
+// TestShardedTraceMatchesSerial is the Tier B determinism gate: the
+// merged virtual-time trace of a sharded 8-node mesh must be byte-
+// identical to the serial engine's, for every shard count, comparing (at
+// least) the first 10k events.
+func TestShardedTraceMatchesSerial(t *testing.T) {
+	const n = 8
+	serial := runMeshTrace(t, 1, n)
+	if len(serial) == 0 {
+		t.Fatal("serial run produced no trace events")
+	}
+	limit := 10000
+	if len(serial) < limit {
+		limit = len(serial)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		got := runMeshTrace(t, shards, n)
+		if len(got) != len(serial) {
+			t.Errorf("shards=%d: %d trace events, serial has %d", shards, len(got), len(serial))
+		}
+		for i := 0; i < limit && i < len(got); i++ {
+			if got[i] != serial[i] {
+				t.Fatalf("shards=%d: trace diverges at event %d:\n  serial:  %+v\n  sharded: %+v",
+					shards, i, serial[i], got[i])
+			}
+		}
+	}
+}
+
+// TestShardedRunToRunDeterminism: two identical sharded runs must agree
+// event for event (worker scheduling must not leak into virtual time).
+func TestShardedRunToRunDeterminism(t *testing.T) {
+	a := runMeshTrace(t, 4, 8)
+	b := runMeshTrace(t, 4, 8)
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at event %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestShardedVirtualTimeMatchesSerial checks end-to-end virtual
+// completion times (not just traces) across shard counts, including a
+// non-power-of-two rank count with uneven shard blocks. Each rank records
+// the virtual instant its fence completed; those instants must match the
+// serial engine's exactly.
+func TestShardedVirtualTimeMatchesSerial(t *testing.T) {
+	run := func(n, shards int) []time.Duration {
+		done := make([]time.Duration, n)
+		inner := meshWorkload(10, 256)
+		main := func(ctx exec.Context, tk *lapi.Task) {
+			inner(ctx, tk)
+			done[tk.Self()] = ctx.Now()
+		}
+		if shards == 1 {
+			j, err := NewSimDefault(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Run(main); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			j, err := NewShardedSim(nil, shards, n, switchnet.DefaultConfig(), lapi.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := j.Run(main); err != nil {
+				t.Fatalf("n=%d shards=%d: %v", n, shards, err)
+			}
+		}
+		return done
+	}
+	for _, n := range []int{3, 8} {
+		want := run(n, 1)
+		for shards := 2; shards <= n; shards++ {
+			got := run(n, shards)
+			for r := range want {
+				if got[r] != want[r] {
+					t.Errorf("n=%d shards=%d rank %d: fence completed at %v, serial %v",
+						n, shards, r, got[r], want[r])
+				}
+			}
+		}
+	}
+}

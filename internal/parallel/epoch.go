@@ -1,0 +1,101 @@
+// epoch.go is Tier B of the multicore layer: conservative lookahead
+// execution of ONE simulation partitioned across several sub-engines.
+//
+// The model is the classic conservative (Chandy-Misra-Bryant style)
+// scheme, specialised to this codebase's guarantees:
+//
+//   - The fabric promises a minimum latency L between the moment a
+//     cross-shard event is created and the virtual time at which it takes
+//     effect (for switchnet, the wire latency: a packet or ack created at
+//     local time t arrives no earlier than t+L).
+//
+//   - Each epoch computes m = min over engines of NextAt() and runs every
+//     engine independently up to the deadline m+L-1 (times are integer
+//     nanoseconds, so the window is inclusive). Any cross-shard event
+//     generated during the epoch was created at a local time ≥ m and so
+//     takes effect at ≥ m+L > deadline: it is always in every engine's
+//     future when imported at the barrier. No shard can ever receive an
+//     event in its past, which is exactly the property that makes the
+//     parallel run equivalent to the serial one.
+//
+//   - At the barrier, the accumulated exports of all shards are merged in
+//     the deterministic order (At, source shard id, per-shard sequence) —
+//     collection walks shards in index order and the sort below is stable,
+//     so ties keep that order — and imported with Engine.ScheduleAt. The
+//     merge order is independent of worker scheduling, so repeated runs
+//     are bit-identical.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"golapi/internal/sim"
+)
+
+// Export is one cross-shard event: a closure that must run at absolute
+// virtual time At on the engine of shard Shard. Producers (e.g. a sharded
+// switchnet fabric) accumulate these in per-shard outboxes while their
+// engine runs an epoch; RunEpochs drains and re-schedules them at the
+// barrier.
+type Export struct {
+	At    sim.Time
+	Shard int // destination shard index
+	Fn    func()
+}
+
+// RunEpochs drives the sub-engines in lockstep lookahead epochs until the
+// whole simulation quiesces, then runs each engine's deadlock check and
+// returns the joined verdicts (nil when every shard finished cleanly).
+//
+// lookahead is the fabric's minimum cross-shard delay L (must be
+// positive). takeOutbox(s) must drain and return shard s's exports
+// accumulated during the last epoch, in creation order. onQuiesce, if
+// non-nil, is called when no engine has pending events; it may schedule
+// new work (e.g. close the job's tasks, which wakes their dispatchers) and
+// return true to keep going, or return false to stop. It runs with every
+// engine parked, so it may touch any shard's state.
+//
+// Engines run their epochs on x's workers; x may be nil (serial epochs,
+// same results).
+func RunEpochs(x *Executor, engines []*sim.Engine, lookahead sim.Time, takeOutbox func(shard int) []Export, onQuiesce func() bool) error {
+	if lookahead <= 0 {
+		return fmt.Errorf("parallel: epoch lookahead must be positive, got %v", lookahead)
+	}
+	for {
+		var min sim.Time
+		any := false
+		for _, e := range engines {
+			if at, ok := e.NextAt(); ok && (!any || at < min) {
+				min, any = at, true
+			}
+		}
+		if !any {
+			if onQuiesce != nil && onQuiesce() {
+				continue
+			}
+			break
+		}
+		deadline := min + lookahead - 1
+		ForEach(x, len(engines), func(i int) error {
+			engines[i].RunUntil(deadline)
+			return nil
+		})
+		var imports []Export
+		for s := range engines {
+			imports = append(imports, takeOutbox(s)...)
+		}
+		sort.SliceStable(imports, func(i, j int) bool { return imports[i].At < imports[j].At })
+		for _, ev := range imports {
+			engines[ev.Shard].ScheduleAt(ev.At, ev.Fn)
+		}
+	}
+	var errs []error
+	for i, e := range engines {
+		if err := e.Run(); err != nil {
+			errs = append(errs, fmt.Errorf("shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}

@@ -144,6 +144,35 @@ func (e *Engine) schedule(at Time, fn func(), p *Proc) {
 	e.push(timerEntry{at: at, seq: e.seq, slot: slot})
 }
 
+// ScheduleAt arranges for fn to run at the absolute virtual time at, which
+// must not be in the past. It is the event-import half of conservative
+// parallel simulation (internal/parallel): a coordinator moves events
+// between sub-engines by reading one engine's outbox and replaying each
+// entry here with its precomputed timestamp. Import order assigns seq, so
+// same-instant imports fire in the order they are scheduled — the caller
+// is responsible for making that order deterministic.
+func (e *Engine) ScheduleAt(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: ScheduleAt(%v) is in the past (now %v)", at, e.now))
+	}
+	e.schedule(at, fn, nil)
+}
+
+// NextAt returns the timestamp of the earliest pending event, if any. A
+// coordinator driving several engines in lookahead epochs uses it to pick
+// the next epoch window (and to detect global quiescence).
+func (e *Engine) NextAt() (Time, bool) {
+	// Due entries sit at the current instant, so they can never be later
+	// than the timer-heap minimum.
+	if e.dueHead < len(e.due) {
+		return e.due[e.dueHead].at, true
+	}
+	if len(e.timers) > 0 {
+		return e.timers[0].at, true
+	}
+	return 0, false
+}
+
 // scheduleProc enqueues a wakeup for p at Now()+d without allocating a
 // closure.
 func (e *Engine) scheduleProc(d Duration, p *Proc) {

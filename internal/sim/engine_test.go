@@ -277,3 +277,70 @@ func TestManyProcsDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestScheduleAt(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	e.ScheduleAt(Time(30*time.Microsecond), func() { fired = append(fired, 3) })
+	e.ScheduleAt(Time(10*time.Microsecond), func() { fired = append(fired, 1) })
+	// Same-instant imports fire in schedule order.
+	e.ScheduleAt(Time(10*time.Microsecond), func() { fired = append(fired, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 || fired[0] != 1 || fired[1] != 2 || fired[2] != 3 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestScheduleAtNowRunsThisInstant(t *testing.T) {
+	e := NewEngine()
+	var fired bool
+	e.Schedule(10*time.Microsecond, func() {
+		e.ScheduleAt(e.Now(), func() { fired = true })
+	})
+	e.RunUntil(Time(10 * time.Microsecond))
+	if !fired {
+		t.Fatal("ScheduleAt(Now) did not fire within the same instant")
+	}
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10*time.Microsecond, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ScheduleAt in the past did not panic")
+		}
+	}()
+	e.ScheduleAt(Time(5*time.Microsecond), func() {})
+}
+
+func TestNextAt(t *testing.T) {
+	e := NewEngine()
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("empty engine reported a pending event")
+	}
+	e.Schedule(30*time.Microsecond, func() {})
+	e.Schedule(10*time.Microsecond, func() {})
+	at, ok := e.NextAt()
+	if !ok || at != Time(10*time.Microsecond) {
+		t.Fatalf("NextAt = %v, %v", at, ok)
+	}
+	// A same-instant (due FIFO) event must win over the timer heap.
+	e.RunUntil(Time(5 * time.Microsecond))
+	e.ScheduleAt(e.Now(), func() {})
+	at, ok = e.NextAt()
+	if !ok || at != Time(5*time.Microsecond) {
+		t.Fatalf("NextAt with due event = %v, %v", at, ok)
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.NextAt(); ok {
+		t.Fatal("drained engine reported a pending event")
+	}
+}

@@ -1,0 +1,122 @@
+package switchnet
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"golapi/internal/parallel"
+	"golapi/internal/sim"
+)
+
+func TestShardedGating(t *testing.T) {
+	engines := []*sim.Engine{sim.NewEngine(), sim.NewEngine()}
+	cfg := DefaultConfig()
+	cfg.WireLatency = 0
+	if _, err := NewSharded(engines, 4, cfg); err == nil {
+		t.Error("sharded switch with zero WireLatency accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.SpineLinks = 4
+	if _, err := NewSharded(engines, 4, cfg); err == nil {
+		t.Error("sharded switch with SpineLinks accepted")
+	}
+	if _, err := NewSharded(engines, 1, DefaultConfig()); err == nil {
+		t.Error("more shards than endpoints accepted")
+	}
+	// Single-engine New still accepts both (no sharding involved).
+	cfg = DefaultConfig()
+	cfg.SpineLinks = 4
+	if _, err := New(sim.NewEngine(), 4, cfg); err != nil {
+		t.Errorf("single-engine switch with SpineLinks rejected: %v", err)
+	}
+}
+
+func TestShardOf(t *testing.T) {
+	engines := []*sim.Engine{sim.NewEngine(), sim.NewEngine(), sim.NewEngine()}
+	sw, err := NewSharded(engines, 8, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for r := 0; r < 8; r++ {
+		s := sw.ShardOf(r)
+		if s < prev || s > 2 {
+			t.Errorf("rank %d on shard %d (prev %d): blocks must be contiguous", r, s, prev)
+		}
+		prev = s
+	}
+	if sw.ShardOf(0) != 0 || sw.ShardOf(7) != 2 {
+		t.Errorf("endpoint shards: %d, %d", sw.ShardOf(0), sw.ShardOf(7))
+	}
+}
+
+// TestShardedDeliveryMatchesSerial drives raw adapters (no protocol
+// layers) through parallel.RunEpochs and checks every delivery lands at
+// the same virtual time, in the same per-rank order, as the single-engine
+// switch — including under deterministic reordering and drops, which
+// exercise retransmission timers and duplicate acks across the shard
+// boundary.
+func TestShardedDeliveryMatchesSerial(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ReorderEvery = 3
+	cfg.DropEvery = 5
+
+	type delivery struct {
+		at   sim.Time
+		from string
+	}
+	// run returns per-rank delivery logs. All-to-all traffic: every rank
+	// sends msgs packets to every other rank, staggered by sender.
+	run := func(shards int) [][]delivery {
+		const n, msgs = 4, 6
+		engines := make([]*sim.Engine, shards)
+		for i := range engines {
+			engines[i] = sim.NewEngine()
+		}
+		sw, err := NewSharded(engines, n, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs := make([][]delivery, n)
+		for i := 0; i < n; i++ {
+			i := i
+			ad := sw.Endpoint(i)
+			ad.SetDeliver(func(src int, data []byte) {
+				logs[i] = append(logs[i], delivery{ad.eng.Now(), fmt.Sprintf("%d:%s", src, data)})
+			})
+		}
+		for i := 0; i < n; i++ {
+			i := i
+			ad := sw.Endpoint(i)
+			ad.eng.Schedule(time.Duration(i)*time.Microsecond, func() {
+				for m := 0; m < msgs; m++ {
+					for d := 0; d < n; d++ {
+						if d != i {
+							ad.Send(nil, d, []byte(fmt.Sprintf("m%d", m)), nil)
+						}
+					}
+				}
+			})
+		}
+		if err := parallel.RunEpochs(parallel.New(shards), engines, sw.Lookahead(), sw.TakeOutbox, nil); err != nil {
+			t.Fatal(err)
+		}
+		return logs
+	}
+
+	want := run(1)
+	for _, shards := range []int{2, 4} {
+		got := run(shards)
+		for r := range want {
+			if len(got[r]) != len(want[r]) {
+				t.Fatalf("shards=%d rank %d: %d deliveries, serial %d", shards, r, len(got[r]), len(want[r]))
+			}
+			for k := range want[r] {
+				if got[r][k] != want[r][k] {
+					t.Fatalf("shards=%d rank %d delivery %d: %+v, serial %+v", shards, r, k, got[r][k], want[r][k])
+				}
+			}
+		}
+	}
+}

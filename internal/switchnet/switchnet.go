@@ -29,6 +29,7 @@ import (
 
 	"golapi/internal/exec"
 	"golapi/internal/fabric"
+	"golapi/internal/parallel"
 	"golapi/internal/sim"
 	"golapi/internal/stats"
 )
@@ -100,32 +101,79 @@ func (c Config) wireTime(n int) time.Duration {
 
 // Switch is a simulated fabric connecting N adapters.
 type Switch struct {
-	eng      *sim.Engine
 	cfg      Config
 	adapters []*Adapter
 	// spineFree tracks when each interior spine link is next idle
 	// (SpineLinks > 0).
 	spineFree []sim.Time
 	Counters  stats.Counters
+	// shards holds one slot per sub-engine. Single-engine switches (New)
+	// have exactly one; sharded switches (NewSharded) have one per
+	// partition, and each slot's outbox accumulates the cross-shard
+	// events generated while that shard's engine runs an epoch.
+	shards []shardSlot
+}
+
+// shardSlot is one partition of a sharded switch.
+type shardSlot struct {
+	eng    *sim.Engine
+	outbox []parallel.Export
 }
 
 // New builds a switch with n endpoints on eng.
 func New(eng *sim.Engine, n int, cfg Config) (*Switch, error) {
+	return NewSharded([]*sim.Engine{eng}, n, cfg)
+}
+
+// NewSharded builds a switch whose n endpoints are partitioned into
+// len(engines) shards of contiguous ranks (rank r belongs to shard
+// r*shards/n), each owning its private sub-engine. Every adapter's events
+// run on its shard's engine; packet and ack arrivals that cross a shard
+// boundary are exported through per-shard outboxes for an epoch
+// coordinator (parallel.RunEpochs) to deliver, using WireLatency as the
+// conservative lookahead window.
+//
+// Sharded operation (more than one engine) requires WireLatency > 0 —
+// zero lookahead would force zero-width epochs — and SpineLinks == 0: the
+// spine occupancy array is mutable state shared by all source adapters,
+// so a finite-bisection fabric cannot be partitioned by rank.
+func NewSharded(engines []*sim.Engine, n int, cfg Config) (*Switch, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	shards := len(engines)
+	if shards < 1 {
+		return nil, fmt.Errorf("switchnet: need at least one engine")
+	}
+	if shards > n {
+		return nil, fmt.Errorf("switchnet: %d shards for %d endpoints", shards, n)
+	}
+	if shards > 1 {
+		if cfg.WireLatency <= 0 {
+			return nil, fmt.Errorf("switchnet: sharded operation requires positive WireLatency (the lookahead window), got %v", cfg.WireLatency)
+		}
+		if cfg.SpineLinks > 0 {
+			return nil, fmt.Errorf("switchnet: sharded operation requires SpineLinks == 0 (spine occupancy is shared across all shards)")
+		}
 	}
 	if cfg.ReorderEvery > 0 && cfg.ReorderDelayPackets == 0 {
 		cfg.ReorderDelayPackets = 2
 	}
-	s := &Switch{eng: eng, cfg: cfg}
+	s := &Switch{cfg: cfg, shards: make([]shardSlot, shards)}
+	for i, eng := range engines {
+		s.shards[i].eng = eng
+	}
 	if cfg.SpineLinks > 0 {
 		s.spineFree = make([]sim.Time, cfg.SpineLinks)
 	}
 	s.adapters = make([]*Adapter, n)
 	for i := range s.adapters {
+		shard := i * shards / n
 		s.adapters[i] = &Adapter{
 			sw:      s,
 			rank:    i,
+			eng:     engines[shard],
+			shard:   shard,
 			unacked: make(map[uint64]*txPacket),
 			seen:    make([]map[uint64]bool, n),
 		}
@@ -134,6 +182,31 @@ func New(eng *sim.Engine, n int, cfg Config) (*Switch, error) {
 		}
 	}
 	return s, nil
+}
+
+// Shards returns the number of sub-engines driving this switch (one for a
+// single-engine switch).
+func (s *Switch) Shards() int { return len(s.shards) }
+
+// ShardOf returns the shard index owning rank.
+func (s *Switch) ShardOf(rank int) int {
+	fabric.CheckRank(rank, len(s.adapters))
+	return s.adapters[rank].shard
+}
+
+// Lookahead returns the conservative synchronization window for epoch
+// execution: every cross-shard event takes effect at least this much
+// virtual time after its creation (the wire latency).
+func (s *Switch) Lookahead() sim.Time { return sim.Time(s.cfg.WireLatency) }
+
+// TakeOutbox drains and returns shard's accumulated cross-shard events in
+// creation order — the parallel.RunEpochs collection hook. It must only be
+// called at an epoch barrier (no shard engine running).
+func (s *Switch) TakeOutbox(shard int) []parallel.Export {
+	sl := &s.shards[shard]
+	out := sl.outbox
+	sl.outbox = nil
+	return out
 }
 
 // Config returns the switch configuration.
@@ -159,6 +232,8 @@ type txPacket struct {
 type Adapter struct {
 	sw      *Switch
 	rank    int
+	eng     *sim.Engine // the sub-engine this adapter's events run on
+	shard   int
 	deliver func(src int, data []byte)
 
 	// linkFree is the virtual time at which the outgoing link becomes
@@ -214,7 +289,7 @@ func (a *Adapter) Send(ctx exec.Context, dst int, data []byte, sent func()) {
 		// Loopback: no wire, deliver at the next scheduling point.
 		a.sw.Counters.Add(stats.PacketsSent, 1)
 		a.sw.Counters.Add(stats.BytesSent, int64(len(data)))
-		a.sw.eng.Schedule(0, func() {
+		a.eng.Schedule(0, func() {
 			if sent != nil {
 				sent()
 			}
@@ -228,10 +303,26 @@ func (a *Adapter) Send(ctx exec.Context, dst int, data []byte, sent func()) {
 	a.transmit(p, false, sent)
 }
 
+// post schedules fn at absolute virtual time at on dst's engine. When dst
+// shares a's engine the schedule is direct (and identical, event for
+// event, to the pre-sharding code: ScheduleAt(at) is Schedule(at-now));
+// otherwise the event goes to a's shard outbox for the epoch coordinator
+// to import at the next barrier. Cross-shard posts are only ever created
+// at least WireLatency ahead of the sender's clock — the lookahead
+// guarantee the coordinator relies on.
+func (a *Adapter) post(dst *Adapter, at sim.Time, fn func()) {
+	if dst.eng == a.eng {
+		a.eng.ScheduleAt(at, fn)
+		return
+	}
+	sl := &a.sw.shards[a.shard]
+	sl.outbox = append(sl.outbox, parallel.Export{At: at, Shard: dst.shard, Fn: fn})
+}
+
 // transmit puts p on the wire (first transmission or retransmission).
 func (a *Adapter) transmit(p *txPacket, isRetry bool, sent func()) {
 	cfg := a.sw.cfg
-	eng := a.sw.eng
+	eng := a.eng
 
 	wire := cfg.wireTime(len(p.data))
 	depart := eng.Now()
@@ -279,10 +370,11 @@ func (a *Adapter) transmit(p *txPacket, isRetry bool, sent func()) {
 			*sl = start + sim.Time(wire)
 			ready = *sl
 		}
-		arrive := time.Duration(ready-eng.Now()) + cfg.WireLatency + extra
+		arrive := ready + sim.Time(cfg.WireLatency) + sim.Time(extra)
 		src, seq, data := a.rank, p.seq, p.data
-		eng.Schedule(arrive, func() {
-			a.sw.adapters[p.dst].receive(src, seq, data)
+		dstAd := a.sw.adapters[p.dst]
+		a.post(dstAd, arrive, func() {
+			dstAd.receive(src, seq, data)
 		})
 	}
 
@@ -330,7 +422,7 @@ func (a *Adapter) receiveLoopback(src int, data []byte) {
 // protocol), which keeps retransmission logic simple and deterministic.
 func (a *Adapter) sendAck(src int, seq uint64) {
 	cfg := a.sw.cfg
-	eng := a.sw.eng
+	eng := a.eng
 	wire := cfg.wireTime(cfg.AckBytes)
 	depart := eng.Now()
 	if a.linkFree > depart {
@@ -338,9 +430,9 @@ func (a *Adapter) sendAck(src int, seq uint64) {
 	}
 	a.linkFree = depart + sim.Time(wire)
 	a.sw.Counters.Add(stats.AcksSent, 1)
-	arrive := time.Duration(a.linkFree-eng.Now()) + cfg.WireLatency
-	eng.Schedule(arrive, func() {
-		origin := a.sw.adapters[src]
+	arrive := a.linkFree + sim.Time(cfg.WireLatency)
+	origin := a.sw.adapters[src]
+	a.post(origin, arrive, func() {
 		if p, ok := origin.unacked[seq]; ok {
 			p.acked = true
 			delete(origin.unacked, seq)

@@ -11,6 +11,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -123,9 +124,38 @@ func (t *Tracer) Filter(kind string) []Event {
 
 // String renders the retained timeline, one event per line.
 func (t *Tracer) String() string {
+	return FormatEvents(t.Events())
+}
+
+// FormatEvents renders a timeline (e.g. a Merge result), one event per
+// line in the same layout as Tracer.String.
+func FormatEvents(events []Event) string {
 	var b strings.Builder
-	for _, e := range t.Events() {
+	for _, e := range events {
 		fmt.Fprintf(&b, "%12v task%-3d %-10s %s\n", e.At, e.Task, e.Kind, e.Detail)
 	}
 	return b.String()
+}
+
+// Merge combines several timelines into one canonical trace, ordered by
+// (At, Task) with each task's own record order preserved for ties (the
+// sort is stable and tracers are concatenated in argument order). A task's
+// events are totally ordered by the engine that runs it in both serial and
+// sharded execution, so merging one tracer per rank yields a comparison
+// key that is independent of how the simulation was partitioned: two
+// executions are equivalent exactly when their merged traces are equal.
+// This is the primitive behind the Tier B determinism tests — a sharded
+// run must reproduce the serial run's merged trace byte for byte.
+func Merge(tracers ...*Tracer) []Event {
+	var all []Event
+	for _, t := range tracers {
+		all = append(all, t.Events()...)
+	}
+	sort.SliceStable(all, func(i, j int) bool {
+		if all[i].At != all[j].At {
+			return all[i].At < all[j].At
+		}
+		return all[i].Task < all[j].Task
+	})
+	return all
 }
