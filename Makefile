@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint bench benchsmoke determinism
+.PHONY: check fmt vet build test race lint lint-json bench benchsmoke determinism
 
 check: fmt vet build test race lint determinism benchsmoke
 
@@ -43,12 +43,30 @@ determinism:
 		fi; \
 		echo "determinism: -exp $$exp byte-identical serial vs parallel"; \
 	done
+	@$(GO) build -o /tmp/golapi-lapivet ./cmd/lapivet
+	@/tmp/golapi-lapivet -json ./internal/analysis/buflifetime/testdata/src/bl > /tmp/golapi-lapivet-1.json 2>/dev/null; \
+	/tmp/golapi-lapivet -json ./internal/analysis/buflifetime/testdata/src/bl > /tmp/golapi-lapivet-2.json 2>/dev/null; \
+	if ! cmp -s /tmp/golapi-lapivet-1.json /tmp/golapi-lapivet-2.json; then \
+		echo "determinism: lapivet -json differs between runs:"; \
+		diff /tmp/golapi-lapivet-1.json /tmp/golapi-lapivet-2.json; exit 1; \
+	fi; \
+	if ! grep -q '"pass": "buflifetime"' /tmp/golapi-lapivet-1.json; then \
+		echo "determinism: lapivet -json produced no buflifetime diagnostics on its golden package"; exit 1; \
+	fi; \
+	echo "determinism: lapivet -json byte-identical across runs"
 
 # lapivet enforces the LAPI usage invariants the type system cannot see
 # (DESIGN.md "Usage invariants"): non-blocking header handlers, origin
-# buffer ownership, activity-local contexts, simulator determinism.
+# buffer ownership, pooled-buffer lifetimes, counter arming discipline,
+# activity-local contexts, simulator determinism. -strict-ignores keeps
+# the suppression comments honest: an ignore that no longer suppresses
+# anything fails the gate.
 lint:
-	$(GO) run ./cmd/lapivet ./...
+	$(GO) run ./cmd/lapivet -strict-ignores ./...
+
+# Machine-readable diagnostics for editor/CI integration.
+lint-json:
+	$(GO) run ./cmd/lapivet -json ./...
 
 # Wall-clock hot-path benchmarks (host-dependent, unlike the virtual-time
 # experiments). `make bench` runs the full suite and refreshes

@@ -67,43 +67,67 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 // TypeOf returns the type of expr in the analyzed package, or nil.
 func (p *Pass) TypeOf(expr ast.Expr) types.Type { return p.Pkg.Info.TypeOf(expr) }
 
+// An Ignore is one //lapivet:ignore comment found in an analyzed package.
+type Ignore struct {
+	Pos   token.Pos
+	File  string // absolute path of the file holding the comment
+	Line  int
+	Names []string // pass names the comment suppresses (may include "all")
+}
+
+// A Result is everything one analysis run produced: surviving diagnostics,
+// and the ignore comments that suppressed nothing (for -strict-ignores).
+type Result struct {
+	Diags []Diagnostic
+	// Stale lists ignore comments that suppressed no diagnostic even though
+	// every pass they name was part of the run (a comment naming a pass that
+	// did not run is never stale: it may suppress under the full suite).
+	Stale      []Ignore
+	Fset       *token.FileSet
+	ModuleRoot string
+}
+
 // Run loads the packages matching patterns (relative to a module found at or
 // above dir) and applies every analyzer to each, returning the surviving
-// diagnostics sorted by position. Diagnostics suppressed by lapivet:ignore
-// comments are dropped.
-func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, *token.FileSet, error) {
+// diagnostics sorted by position along with stale-ignore bookkeeping.
+// Diagnostics suppressed by lapivet:ignore comments are dropped.
+func Run(dir string, patterns []string, analyzers []*Analyzer) (*Result, error) {
 	l, err := NewLoader(dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	paths, err := l.Expand(patterns)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	var pkgs []*Package
 	for _, path := range paths {
 		pkg, err := l.LoadPath(path)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		pkgs = append(pkgs, pkg)
 	}
-	var diags []Diagnostic
+	res := &Result{Fset: l.Fset, ModuleRoot: l.ModuleRoot}
 	for _, pkg := range pkgs {
-		ds, err := RunPackage(l, pkg, analyzers)
+		ds, stale, err := RunPackage(l, pkg, analyzers)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
-		diags = append(diags, ds...)
+		res.Diags = append(res.Diags, ds...)
+		res.Stale = append(res.Stale, stale...)
 	}
-	return diags, l.Fset, nil
+	sort.Slice(res.Stale, func(i, j int) bool { return res.Stale[i].Pos < res.Stale[j].Pos })
+	return res, nil
 }
 
-// RunPackage applies analyzers to one loaded package and filters ignored
-// diagnostics.
-func RunPackage(l *Loader, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+// RunPackage applies analyzers to one loaded package, filters ignored
+// diagnostics, and returns the ignore comments that suppressed nothing.
+func RunPackage(l *Loader, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, []Ignore, error) {
 	var diags []Diagnostic
+	ran := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer: a,
 			Fset:     l.Fset,
@@ -115,17 +139,17 @@ func RunPackage(l *Loader, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, e
 			diags: &diags,
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+			return nil, nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
 		}
 	}
-	diags = filterIgnored(l.Fset, pkg, diags)
+	diags, stale := filterIgnored(l.Fset, pkg, diags, ran)
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].Pos != diags[j].Pos {
 			return diags[i].Pos < diags[j].Pos
 		}
 		return diags[i].Message < diags[j].Message
 	})
-	return diags, nil
+	return diags, stale, nil
 }
 
 // ignoreKey suppresses one analyzer (or every analyzer, for name "all") on
@@ -139,9 +163,12 @@ type ignoreKey struct {
 // filterIgnored drops diagnostics suppressed by "//lapivet:ignore name[,name]
 // [reason]" comments. A suppression applies to the comment's own line and to
 // the following line, so it works both trailing the offending statement and
-// standalone above it.
-func filterIgnored(fset *token.FileSet, pkg *Package, diags []Diagnostic) []Diagnostic {
-	ignored := make(map[ignoreKey]bool)
+// standalone above it. It also returns the comments that suppressed nothing:
+// a comment is stale only when every pass it names was in the ran set and
+// still no diagnostic matched any of its names.
+func filterIgnored(fset *token.FileSet, pkg *Package, diags []Diagnostic, ran map[string]bool) ([]Diagnostic, []Ignore) {
+	var comments []Ignore
+	ignored := make(map[ignoreKey]int) // -> index into comments
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -154,24 +181,48 @@ func filterIgnored(fset *token.FileSet, pkg *Package, diags []Diagnostic) []Diag
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				for _, name := range strings.Split(fields[0], ",") {
-					ignored[ignoreKey{pos.Filename, pos.Line, name}] = true
-					ignored[ignoreKey{pos.Filename, pos.Line + 1, name}] = true
+				names := strings.Split(fields[0], ",")
+				comments = append(comments, Ignore{Pos: c.Pos(), File: pos.Filename, Line: pos.Line, Names: names})
+				idx := len(comments) - 1
+				for _, name := range names {
+					ignored[ignoreKey{pos.Filename, pos.Line, name}] = idx
+					ignored[ignoreKey{pos.Filename, pos.Line + 1, name}] = idx
 				}
 			}
 		}
 	}
-	if len(ignored) == 0 {
-		return diags
+	used := make([]bool, len(comments))
+	if len(ignored) > 0 {
+		kept := diags[:0]
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			if idx, ok := ignored[ignoreKey{pos.Filename, pos.Line, d.Analyzer}]; ok {
+				used[idx] = true
+				continue
+			}
+			if idx, ok := ignored[ignoreKey{pos.Filename, pos.Line, "all"}]; ok {
+				used[idx] = true
+				continue
+			}
+			kept = append(kept, d)
+		}
+		diags = kept
 	}
-	kept := diags[:0]
-	for _, d := range diags {
-		pos := fset.Position(d.Pos)
-		if ignored[ignoreKey{pos.Filename, pos.Line, d.Analyzer}] ||
-			ignored[ignoreKey{pos.Filename, pos.Line, "all"}] {
+	var stale []Ignore
+	for i, ig := range comments {
+		if used[i] {
 			continue
 		}
-		kept = append(kept, d)
+		judgeable := true
+		for _, name := range ig.Names {
+			if name != "all" && !ran[name] {
+				judgeable = false // the named pass did not run; cannot judge
+				break
+			}
+		}
+		if judgeable {
+			stale = append(stale, ig)
+		}
 	}
-	return kept
+	return diags, stale
 }

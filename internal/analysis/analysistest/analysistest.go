@@ -32,7 +32,7 @@ func Run(t *testing.T, dir string, a *analysis.Analyzer) {
 	if err != nil {
 		t.Fatalf("loading %s: %v", dir, err)
 	}
-	diags, err := analysis.RunPackage(l, pkg, []*analysis.Analyzer{a})
+	diags, _, err := analysis.RunPackage(l, pkg, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}

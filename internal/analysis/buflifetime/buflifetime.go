@@ -1,0 +1,609 @@
+// Package buflifetime statically enforces the fabric.Contract buffer
+// ownership protocol for pooled transports: a buffer obtained from
+// Transport.Alloc (or tcpnet's internal pool) must, on every path, be
+// handed back — to the pool via Release, or to the transport via Send —
+// and must not be touched or released again afterwards. On a pooled
+// transport a leaked buffer is a permanent hole in the pool and a
+// use-after-Release is a data race with whatever frame the pool backs
+// next; neither is detectable at runtime.
+//
+// The pass is flow-sensitive (internal/analysis/cfg + dataflow): the
+// abstract state maps each locally-acquired buffer to a may-set of
+// {owned, released} facts, merged by union at joins. Reports:
+//
+//   - leak: a buffer still owned on some path into the function exit
+//     (reported at the Alloc), e.g. an early error return that skips
+//     Release;
+//   - reallocation while owned: the same variable re-acquired (typically
+//     on a loop back edge) while a previous allocation is unreleased;
+//   - double release: Release/put on a buffer already released on some
+//     path;
+//   - use after release: any read, write, or call argument use of a
+//     released buffer.
+//
+// Ownership is discharged without complaint when the buffer escapes the
+// pass's view: returned, sent on a channel, stored into a non-local,
+// captured by a function literal or goroutine, or passed to a call the
+// pass does not model. Calls into io and encoding/binary, the fabric
+// framing helpers, and the builtins (copy, len, cap, clear, spread
+// append) only borrow the buffer and leave the obligation in place — that
+// is what catches `if _, err := io.ReadFull(r, b); err != nil { return }`
+// leaking b. Transports whose Contract() does not set PooledSend
+// (switchnet) are exempt: their Alloc is plain make and Release a no-op.
+package buflifetime
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"golapi/internal/analysis"
+	"golapi/internal/analysis/cfg"
+	"golapi/internal/analysis/dataflow"
+)
+
+// Analyzer is the buflifetime pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "buflifetime",
+	Doc:  "track pooled transport buffers: leak on some path, double-Release, use-after-Release",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	iface := pass.NamedType(analysis.FabricPath, "Transport")
+	if iface == nil {
+		return nil
+	}
+	r := &runner{
+		pass:   pass,
+		iface:  iface.Underlying().(*types.Interface),
+		pooled: map[*types.TypeName]bool{},
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					r.check(n.Body)
+				}
+			case *ast.FuncLit:
+				r.check(n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type runner struct {
+	pass   *analysis.Pass
+	iface  *types.Interface
+	pooled map[*types.TypeName]bool // Contract() sets PooledSend, by receiver type
+	idx    map[*types.Func]analysis.FuncBody
+}
+
+func (r *runner) check(body *ast.BlockStmt) {
+	g := cfg.New(body)
+	c := &checker{r: r}
+	res := dataflow.Solve(g, c)
+	// Capture the exit state before reporting is on: Out replays the exit
+	// block (deferred calls), which Walk will also do.
+	exit, reachable := res.Out(g, g.Exit, c)
+	c.report = true
+	res.Walk(g, c)
+	if reachable {
+		c.reportLeaks(exit)
+	}
+}
+
+// fact is one possible status of a tracked buffer: owned (pos = the
+// acquire site) or released (pos = the release site).
+type fact struct {
+	obj      types.Object
+	released bool
+	pos      token.Pos
+}
+
+// state is the may-set of facts; a buffer both owned and released here is
+// owned on one path and released on another.
+type state map[fact]bool
+
+type checker struct {
+	r      *runner
+	report bool
+}
+
+func (c *checker) Entry() state { return state{} }
+
+func (c *checker) Clone(s state) state {
+	n := make(state, len(s))
+	for f := range s {
+		n[f] = true
+	}
+	return n
+}
+
+func (c *checker) Merge(dst, src state) state {
+	for f := range src {
+		dst[f] = true
+	}
+	return dst
+}
+
+func (c *checker) Equal(a, b state) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for f := range a {
+		if !b[f] {
+			return false
+		}
+	}
+	return true
+}
+
+// Transfer applies one CFG leaf node.
+func (c *checker) Transfer(n ast.Node, s state) state {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		c.assign(n, s)
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			c.escapeExpr(res, s)
+		}
+	case *ast.SendStmt:
+		c.use(n.Chan, s)
+		c.escapeExpr(n.Value, s)
+	case *ast.DeferStmt, *ast.GoStmt:
+		// Registration evaluates arguments at an unknown distance from the
+		// call itself; deferred calls reappear in the exit block. Treat any
+		// tracked buffer mentioned as escaping (a deferred Release still
+		// discharges the obligation when the exit block replays it).
+		c.escapeIdents(n, s)
+	case *ast.ExprStmt:
+		c.use(n.X, s)
+	case *ast.IncDecStmt:
+		c.use(n.X, s)
+	case *ast.DeclStmt:
+		ast.Inspect(n, func(m ast.Node) bool {
+			if vs, ok := m.(*ast.ValueSpec); ok {
+				for _, v := range vs.Values {
+					c.escapeExpr(v, s)
+				}
+				return false
+			}
+			return true
+		})
+	default:
+		if e, ok := n.(ast.Expr); ok {
+			c.use(e, s)
+		}
+	}
+	return s
+}
+
+// assign handles acquire bindings, rebindings, and element writes.
+func (c *checker) assign(a *ast.AssignStmt, s state) {
+	info := c.r.pass.Pkg.Info
+	paired := len(a.Lhs) == len(a.Rhs)
+	for i, lhs := range a.Lhs {
+		var rhs ast.Expr
+		if paired && i < len(a.Rhs) {
+			rhs = a.Rhs[i]
+		}
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.Ident:
+			obj := info.ObjectOf(l)
+			if rhs != nil {
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && c.r.isAcquire(info, call) {
+					for _, arg := range call.Args {
+						c.use(arg, s)
+					}
+					if obj == nil {
+						continue
+					}
+					if prev, owned := ownedFact(s, obj); owned {
+						c.reportf(a.Pos(), "pooled transport buffer %s reallocated while the allocation from line %d is still owned: Release or Send it first", obj.Name(), c.line(prev.pos))
+					}
+					dropFacts(s, obj)
+					s[fact{obj: obj, pos: call.Pos()}] = true
+					continue
+				}
+				// Rebinding through the same buffer (b = b[:n], b = append(b,
+				// x), b = fabric.PutUint32(b, v)) keeps the obligation on the
+				// name: scan the rhs in borrow mode, which leaves obj's facts
+				// in place while still escaping anything else that flows out
+				// (append elements, unmodelled call arguments). Rebinding to
+				// an unrelated value retires tracking, with the old value
+				// either escaping through the rhs or simply dropped.
+				if obj != nil && mentions(info, rhs, obj) {
+					c.use(rhs, s)
+					continue
+				}
+				c.escapeExpr(rhs, s)
+			}
+			if obj != nil {
+				dropFacts(s, obj)
+			}
+		case *ast.IndexExpr, *ast.SliceExpr:
+			if obj, rel := c.releasedBase(l.(ast.Expr), s); obj != nil {
+				c.reportf(a.Pos(), "pooled transport buffer %s written after Release (line %d): the memory may already back another frame", obj.Name(), c.line(rel))
+			}
+			if rhs != nil {
+				c.escapeExpr(rhs, s)
+			}
+		default:
+			c.use(lhs, s)
+			if rhs != nil {
+				c.escapeExpr(rhs, s)
+			}
+		}
+	}
+	if !paired {
+		for _, rhs := range a.Rhs {
+			c.escapeExpr(rhs, s)
+		}
+	}
+}
+
+// use walks an expression: calls are classified (release, send, borrow,
+// escape), reads of released buffers are reported, and tracked buffers
+// that flow somewhere the pass cannot see stop being tracked.
+func (c *checker) use(e ast.Expr, s state) {
+	if e == nil {
+		return
+	}
+	info := c.r.pass.Pkg.Info
+	skip := map[ast.Node]bool{}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if n == nil || skip[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.escapeIdents(n, s)
+			return false
+		case *ast.CallExpr:
+			c.call(n, s, skip)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				c.escapeExpr(n.X, s)
+				return false
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				c.escapeExpr(elt, s)
+			}
+			return false
+		case *ast.Ident:
+			if obj := info.ObjectOf(n); obj != nil {
+				if rel, ok := releasedFact(s, obj); ok {
+					c.reportf(n.Pos(), "pooled transport buffer %s used after Release (line %d): the memory may already back another frame", obj.Name(), c.line(rel.pos))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// call classifies one call expression inside use.
+func (c *checker) call(call *ast.CallExpr, s state, skip map[ast.Node]bool) {
+	info := c.r.pass.Pkg.Info
+
+	// Builtins and conversions copy or measure: borrow, never escape.
+	// append retains reference arguments (elements) but borrows the spread
+	// form and the destination.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" && call.Ellipsis == token.NoPos {
+				for i, arg := range call.Args {
+					if i == 0 {
+						continue
+					}
+					c.escapeExpr(arg, s)
+					skip[arg] = true
+				}
+			}
+			return
+		}
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return // conversion: borrows the operand
+	}
+
+	fn := analysis.Callee(info, call)
+	kind, argIdx := c.r.classify(fn, call)
+	switch kind {
+	case opAcquire:
+		// Result discarded or consumed by an unmodelled context: nothing to
+		// track (the binding form is handled in assign).
+	case opRelease:
+		if len(call.Args) > argIdx {
+			arg := call.Args[argIdx]
+			skip[arg] = true
+			if obj := objectIfIdent(info, arg); obj != nil {
+				if rel, ok := releasedFact(s, obj); ok {
+					c.reportf(call.Pos(), "pooled transport buffer %s released twice (previous Release at line %d)", obj.Name(), c.line(rel.pos))
+				}
+				dropFacts(s, obj)
+				s[fact{obj: obj, released: true, pos: call.Pos()}] = true
+			}
+		}
+	case opSend:
+		if len(call.Args) > argIdx {
+			arg := call.Args[argIdx]
+			skip[arg] = true
+			if obj := objectIfIdent(info, arg); obj != nil {
+				if rel, ok := releasedFact(s, obj); ok {
+					c.reportf(call.Pos(), "pooled transport buffer %s sent after Release (line %d)", obj.Name(), c.line(rel.pos))
+				}
+				dropFacts(s, obj) // ownership passes to the transport
+			}
+		}
+	case opBorrow:
+		// Arguments are read or filled but the obligation stays put. The
+		// generic Ident case still reports use-after-Release.
+	case opOther:
+		for _, arg := range call.Args {
+			c.escapeExpr(arg, s)
+			skip[arg] = true
+		}
+	}
+}
+
+// escapeExpr handles a value flowing out of the pass's view: a released
+// buffer is reported, an owned one silently stops being tracked.
+func (c *checker) escapeExpr(e ast.Expr, s state) {
+	if e == nil {
+		return
+	}
+	info := c.r.pass.Pkg.Info
+	if obj := objectIfIdent(info, e); obj != nil {
+		if rel, ok := releasedFact(s, obj); ok {
+			c.reportf(e.Pos(), "pooled transport buffer %s used after Release (line %d): the memory may already back another frame", obj.Name(), c.line(rel.pos))
+		}
+		dropFacts(s, obj)
+		return
+	}
+	// Slicing or indexing before the escape still aliases the allocation.
+	switch x := ast.Unparen(e).(type) {
+	case *ast.SliceExpr:
+		c.escapeExpr(x.X, s)
+		return
+	}
+	c.use(e, s)
+}
+
+// escapeIdents conservatively retires every tracked buffer mentioned under
+// n (captures by literals, defer/go registrations).
+func (c *checker) escapeIdents(n ast.Node, s state) {
+	info := c.r.pass.Pkg.Info
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if obj := info.ObjectOf(id); obj != nil {
+				dropFacts(s, obj)
+			}
+		}
+		return true
+	})
+}
+
+// releasedBase resolves the base identifier of an index/slice expression
+// and returns it with the release site when it is released on some path.
+func (c *checker) releasedBase(e ast.Expr, s state) (types.Object, token.Pos) {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj := c.r.pass.Pkg.Info.ObjectOf(x); obj != nil {
+				if rel, ok := releasedFact(s, obj); ok {
+					return obj, rel.pos
+				}
+			}
+			return nil, token.NoPos
+		default:
+			return nil, token.NoPos
+		}
+	}
+}
+
+// reportLeaks reports, at each acquire site, buffers still owned when the
+// function exits on some path.
+func (c *checker) reportLeaks(exit state) {
+	var owned []fact
+	for f := range exit {
+		if !f.released {
+			owned = append(owned, f)
+		}
+	}
+	sort.Slice(owned, func(i, j int) bool { return owned[i].pos < owned[j].pos })
+	for _, f := range owned {
+		c.reportf(f.pos, "pooled transport buffer %s may leak: not released or sent on some path to return", f.obj.Name())
+	}
+}
+
+func (c *checker) reportf(pos token.Pos, format string, args ...any) {
+	if !c.report {
+		return
+	}
+	c.r.pass.Reportf(pos, format, args...)
+}
+
+func (c *checker) line(pos token.Pos) int {
+	return c.r.pass.Fset.Position(pos).Line
+}
+
+// --- call classification -------------------------------------------------
+
+type opKind int
+
+const (
+	opOther opKind = iota
+	opAcquire
+	opRelease
+	opSend
+	opBorrow
+)
+
+// classify maps a resolved callee to its buffer-ownership behaviour and
+// the index of the buffer argument where one applies.
+func (r *runner) classify(fn *types.Func, call *ast.CallExpr) (opKind, int) {
+	if fn == nil {
+		return opOther, 0
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		switch fn.Name() {
+		case "Alloc":
+			if r.implementsTransport(recv) && r.pooledSend(recv) && len(call.Args) == 1 {
+				return opAcquire, 0
+			}
+		case "Release":
+			if r.implementsTransport(recv) && r.pooledSend(recv) && len(call.Args) == 1 {
+				return opRelease, 0
+			}
+		case "Send":
+			if r.implementsTransport(recv) && len(call.Args) == 4 {
+				return opSend, 2
+			}
+		case "get":
+			if analysis.IsMethodOf(fn, analysis.TcpnetPath, "bufPool", "get") {
+				return opAcquire, 0
+			}
+		case "put":
+			if analysis.IsMethodOf(fn, analysis.TcpnetPath, "bufPool", "put") {
+				return opRelease, 0
+			}
+		}
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "io", "encoding/binary", analysis.FabricPath:
+			return opBorrow, 0
+		}
+	}
+	return opOther, 0
+}
+
+// implementsTransport reports whether recv (as declared, value or pointer)
+// satisfies fabric.Transport, or is the interface itself.
+func (r *runner) implementsTransport(recv types.Type) bool {
+	if types.IsInterface(recv) {
+		return types.Implements(recv, r.iface) || types.Identical(recv.Underlying(), r.iface)
+	}
+	return types.Implements(recv, r.iface)
+}
+
+// pooledSend reports whether buffers from recv's Alloc are pool-backed.
+// Interface receivers are assumed pooled (the honest default: the Contract
+// documents Release as mandatory on pooled transports and a no-op
+// otherwise). For a concrete type the Contract method body is inspected
+// for a PooledSend: true composite-literal field; switchnet's Adapter
+// returns the zero Contract and is exempt.
+func (r *runner) pooledSend(recv types.Type) bool {
+	if types.IsInterface(recv) {
+		return true
+	}
+	t := recv
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return true
+	}
+	if v, ok := r.pooled[named.Obj()]; ok {
+		return v
+	}
+	pooled := true
+	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, named.Obj().Pkg(), "Contract")
+	if fn, ok := obj.(*types.Func); ok {
+		if r.idx == nil {
+			r.idx = r.pass.FuncIndex()
+		}
+		if fb, ok := r.idx[fn]; ok {
+			pooled = false
+			ast.Inspect(fb.Body, func(n ast.Node) bool {
+				kv, ok := n.(*ast.KeyValueExpr)
+				if !ok {
+					return true
+				}
+				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "PooledSend" {
+					if v, ok := kv.Value.(*ast.Ident); ok && v.Name == "true" {
+						pooled = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	r.pooled[named.Obj()] = pooled
+	return pooled
+}
+
+func (r *runner) isAcquire(info *types.Info, call *ast.CallExpr) bool {
+	kind, _ := r.classify(analysis.Callee(info, call), call)
+	return kind == opAcquire
+}
+
+// --- state helpers -------------------------------------------------------
+
+func ownedFact(s state, obj types.Object) (fact, bool) {
+	var best fact
+	found := false
+	for f := range s {
+		if f.obj == obj && !f.released && (!found || f.pos < best.pos) {
+			best, found = f, true
+		}
+	}
+	return best, found
+}
+
+func releasedFact(s state, obj types.Object) (fact, bool) {
+	var best fact
+	found := false
+	for f := range s {
+		if f.obj == obj && f.released && (!found || f.pos < best.pos) {
+			best, found = f, true
+		}
+	}
+	return best, found
+}
+
+func dropFacts(s state, obj types.Object) {
+	for f := range s {
+		if f.obj == obj {
+			delete(s, f)
+		}
+	}
+}
+
+func mentions(info *types.Info, e ast.Expr, obj types.Object) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func objectIfIdent(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "nil" {
+		return nil
+	}
+	return info.ObjectOf(id)
+}

@@ -1,0 +1,13 @@
+package buflifetime_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"golapi/internal/analysis/analysistest"
+	"golapi/internal/analysis/buflifetime"
+)
+
+func TestBuflifetime(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "bl"), buflifetime.Analyzer)
+}

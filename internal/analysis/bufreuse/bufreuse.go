@@ -5,28 +5,39 @@
 // hardware, with the adapter's DMA; in the simulator, with the modelled
 // copy — and the runtime cannot detect it.
 //
-// The pass is a best-effort, flow-lite check: within each function body it
-// tracks (buffer variable, origin counter variable) pairs introduced by a
-// communication call whose origin-counter argument is non-nil, scans
-// statements in source order, and reports writes to a tracked buffer
-// (element stores, copy, append, re-slicing stores) that occur before a
-// Waitcntr/Getcntr/Setcntr on the associated counter or a Fence/Gfence/
-// Barrier. Branches share tracking state, so a wait on any path clears the
-// pair — the pass underreports rather than cry wolf.
+// The pass is flow-sensitive: each function body is lowered to a CFG
+// (internal/analysis/cfg) and a may-analysis is run to a fixpoint with
+// internal/analysis/dataflow. The abstract state is the set of outstanding
+// (buffer, origin counter) pairs; states merge by union at joins, so a pair
+// is outstanding at a program point if it is outstanding on ANY path into
+// it. A write to a buffer outstanding on some path is reported: a wait that
+// happens only inside one branch, or a Put whose wait is after the loop
+// (leaving the pair pending across the back edge), no longer hides the
+// race the way the old statement-order scan did.
+//
+// Kills: Waitcntr/Getcntr/Setcntr on the pair's counter retires it, a
+// Fence/Gfence/Barrier/Close retires everything, and rebinding the buffer
+// name retires its pairs (the lent-out array is no longer reachable through
+// the name). A wait whose counter expression the pass cannot resolve to a
+// variable also retires everything — the pass underreports rather than cry
+// wolf.
 package bufreuse
 
 import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 
 	"golapi/internal/analysis"
+	"golapi/internal/analysis/cfg"
+	"golapi/internal/analysis/dataflow"
 )
 
 // Analyzer is the bufreuse pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "bufreuse",
-	Doc:  "report writes to an origin buffer before its origin counter is waited on",
+	Doc:  "report writes to an origin buffer before its origin counter is waited on, on any path",
 	Run:  run,
 }
 
@@ -45,29 +56,22 @@ var commOps = map[string]commOp{
 	"GetStrided": {bufArgs: []int{4}, cntrArg: 6},
 }
 
-// waitOps clear tracking for the counter in argument 1; fenceOps clear all
-// tracking (every outstanding origin buffer is reusable after a fence).
-var waitOps = map[string]bool{"Waitcntr": true, "Getcntr": true, "Setcntr": true}
-var fenceOps = map[string]bool{"Fence": true, "Gfence": true, "Barrier": true, "Close": true}
-
 func run(pass *analysis.Pass) error {
 	if pass.Lookup(analysis.LapiPath) == nil {
 		return nil
 	}
 	for _, f := range pass.Pkg.Files {
-		// Each function body — declarations and literals alike — is checked
-		// independently; checker.scan does not descend into nested literals,
-		// so this traversal visits every body exactly once.
+		// Each function body — declarations and literals alike — gets its own
+		// graph; the CFG builder treats nested literals as opaque values, so
+		// this traversal analyzes every body exactly once.
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.FuncDecl:
 				if n.Body != nil {
-					c := &checker{pass: pass}
-					c.block(n.Body)
+					check(pass, n.Body)
 				}
 			case *ast.FuncLit:
-				c := &checker{pass: pass}
-				c.block(n.Body)
+				check(pass, n.Body)
 			}
 			return true
 		})
@@ -75,7 +79,16 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// rec tracks one outstanding origin buffer.
+func check(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	c := &checker{pass: pass}
+	res := dataflow.Solve(g, c)
+	c.report = true
+	res.Walk(g, c)
+}
+
+// rec is one outstanding origin-buffer fact: buf was lent to op (at line)
+// until cntr fires.
 type rec struct {
 	buf  types.Object
 	cntr types.Object
@@ -83,122 +96,73 @@ type rec struct {
 	line int
 }
 
+// state is the may-set of outstanding records.
+type state map[rec]bool
+
 type checker struct {
-	pass    *analysis.Pass
-	pending []rec
+	pass   *analysis.Pass
+	report bool
 }
 
-// block processes a statement list in source order.
-func (c *checker) block(b *ast.BlockStmt) {
-	for _, s := range b.List {
-		c.stmt(s)
+func (c *checker) Entry() state { return state{} }
+
+func (c *checker) Clone(s state) state {
+	n := make(state, len(s))
+	for r := range s {
+		n[r] = true
 	}
+	return n
 }
 
-// stmt dispatches one statement: expression parts are scanned for calls and
-// writes, nested blocks recurse with shared tracking state.
-func (c *checker) stmt(s ast.Stmt) {
-	switch s := s.(type) {
-	case *ast.BlockStmt:
-		c.block(s)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			c.stmt(s.Init)
-		}
-		c.scan(s.Cond)
-		c.block(s.Body)
-		if s.Else != nil {
-			c.stmt(s.Else)
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			c.stmt(s.Init)
-		}
-		if s.Cond != nil {
-			c.scan(s.Cond)
-		}
-		c.block(s.Body)
-		if s.Post != nil {
-			c.stmt(s.Post)
-		}
-	case *ast.RangeStmt:
-		c.scan(s.X)
-		c.block(s.Body)
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			c.stmt(s.Init)
-		}
-		if s.Tag != nil {
-			c.scan(s.Tag)
-		}
-		for _, cc := range s.Body.List {
-			cl := cc.(*ast.CaseClause)
-			for _, e := range cl.List {
-				c.scan(e)
-			}
-			for _, bs := range cl.Body {
-				c.stmt(bs)
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		if s.Init != nil {
-			c.stmt(s.Init)
-		}
-		for _, cc := range s.Body.List {
-			cl := cc.(*ast.CaseClause)
-			for _, bs := range cl.Body {
-				c.stmt(bs)
-			}
-		}
-	case *ast.SelectStmt:
-		for _, cc := range s.Body.List {
-			cl := cc.(*ast.CommClause)
-			if cl.Comm != nil {
-				c.stmt(cl.Comm)
-			}
-			for _, bs := range cl.Body {
-				c.stmt(bs)
-			}
-		}
-	case *ast.LabeledStmt:
-		c.stmt(s.Stmt)
-	case *ast.DeferStmt, *ast.GoStmt:
-		// Deferred and spawned work runs outside this statement sequence;
-		// out of scope for the flow-lite model.
-	default:
-		c.scan(s)
+func (c *checker) Merge(dst, src state) state {
+	for r := range src {
+		dst[r] = true
 	}
+	return dst
 }
 
-// scan inspects an expression or leaf statement for communication calls,
-// counter waits, and buffer writes, in syntactic order. Function literals
-// are skipped: their bodies run at an unknown time.
-func (c *checker) scan(n ast.Node) {
+func (c *checker) Equal(a, b state) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for r := range a {
+		if !b[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// Transfer applies one CFG leaf. Function literals run at an unknown time
+// and defer/go registrations only evaluate arguments (deferred calls
+// reappear as bare calls in the exit block), so those subtrees are skipped.
+func (c *checker) Transfer(n ast.Node, s state) state {
 	ast.Inspect(n, func(n ast.Node) bool {
 		switch n := n.(type) {
-		case *ast.FuncLit:
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
 			return false
 		case *ast.CallExpr:
-			c.call(n)
+			c.call(n, s)
 		case *ast.AssignStmt:
-			c.assign(n)
+			c.assign(n, s)
 		case *ast.IncDecStmt:
-			if obj := c.writeTarget(n.X); obj != nil {
-				c.reportWrite(n.Pos(), obj)
+			if obj := c.writeTarget(n.X, s); obj != nil {
+				c.reportWrite(n.Pos(), obj, s)
 			}
 		}
 		return true
 	})
+	return s
 }
 
-// call handles one call expression: comm ops start tracking, wait ops clear
-// it, copy into a tracked buffer is a write.
-func (c *checker) call(call *ast.CallExpr) {
+// call handles one call expression: comm ops add records, wait ops retire
+// them, copy into a tracked buffer is a write.
+func (c *checker) call(call *ast.CallExpr, s state) {
 	info := c.pass.Pkg.Info
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
 		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "copy" && len(call.Args) == 2 {
-			if obj := c.writeTarget(call.Args[0]); obj != nil {
-				c.reportWrite(call.Pos(), obj)
+			if obj := c.writeTarget(call.Args[0], s); obj != nil {
+				c.reportWrite(call.Pos(), obj, s)
 			}
 			return
 		}
@@ -218,7 +182,7 @@ func (c *checker) call(call *ast.CallExpr) {
 		for _, i := range op.bufArgs {
 			if buf := c.objectIfIdent(call.Args[i]); buf != nil {
 				pos := c.pass.Fset.Position(call.Pos())
-				c.pending = append(c.pending, rec{buf: buf, cntr: cntr, op: name, line: pos.Line})
+				s[rec{buf: buf, cntr: cntr, op: name, line: pos.Line}] = true
 			}
 		}
 	case analysis.IsMethodOf(fn, analysis.LapiPath, "Task", "Waitcntr", "Getcntr", "Setcntr"):
@@ -226,45 +190,53 @@ func (c *checker) call(call *ast.CallExpr) {
 			return
 		}
 		cntr := c.objectIfIdent(call.Args[1])
-		kept := c.pending[:0]
-		for _, r := range c.pending {
-			if cntr == nil || r.cntr != cntr {
-				kept = append(kept, r)
+		for r := range s {
+			// An unresolvable counter expression may name any counter: retire
+			// everything rather than report around an opaque wait.
+			if cntr == nil || r.cntr == cntr {
+				delete(s, r)
 			}
 		}
-		c.pending = kept
 	case analysis.IsMethodOf(fn, analysis.LapiPath, "Task", "Fence", "Gfence", "Barrier", "Close"):
-		c.pending = c.pending[:0]
+		for r := range s {
+			delete(s, r)
+		}
 	}
 }
 
-// assign handles writes on the left-hand sides of an assignment.
-func (c *checker) assign(a *ast.AssignStmt) {
+// assign handles writes on the left-hand sides of an assignment. The CFG's
+// synthesized range-binding assignments (empty Rhs) land here too and
+// simply retire the rebound names.
+func (c *checker) assign(a *ast.AssignStmt, s state) {
 	for _, lhs := range a.Lhs {
 		switch l := ast.Unparen(lhs).(type) {
 		case *ast.IndexExpr, *ast.SliceExpr:
-			if obj := c.writeTarget(l); obj != nil {
-				c.reportWrite(a.Pos(), obj)
+			if obj := c.writeTarget(l, s); obj != nil {
+				c.reportWrite(a.Pos(), obj, s)
 			}
 		case *ast.Ident:
 			obj := c.pass.Pkg.Info.ObjectOf(l)
-			if obj == nil || !c.tracked(obj) {
+			if obj == nil || !tracked(s, obj) {
 				continue
 			}
 			// buf = append(buf, ...) may write the tracked backing array;
 			// any other rebinding just retires the tracked name.
 			if c.appendsTo(a.Rhs, obj) {
-				c.reportWrite(a.Pos(), obj)
+				c.reportWrite(a.Pos(), obj, s)
 			} else {
-				c.clearBuf(obj)
+				for r := range s {
+					if r.buf == obj {
+						delete(s, r)
+					}
+				}
 			}
 		}
 	}
 }
 
 // writeTarget resolves the base identifier of an index/slice expression if
-// its object is currently tracked.
-func (c *checker) writeTarget(e ast.Expr) types.Object {
+// its object is currently tracked on some path.
+func (c *checker) writeTarget(e ast.Expr, s state) types.Object {
 	for {
 		switch x := ast.Unparen(e).(type) {
 		case *ast.IndexExpr:
@@ -272,7 +244,7 @@ func (c *checker) writeTarget(e ast.Expr) types.Object {
 		case *ast.SliceExpr:
 			e = x.X
 		case *ast.Ident:
-			if obj := c.pass.Pkg.Info.ObjectOf(x); obj != nil && c.tracked(obj) {
+			if obj := c.pass.Pkg.Info.ObjectOf(x); obj != nil && tracked(s, obj) {
 				return obj
 			}
 			return nil
@@ -303,23 +275,13 @@ func (c *checker) appendsTo(rhs []ast.Expr, obj types.Object) bool {
 	return false
 }
 
-func (c *checker) tracked(obj types.Object) bool {
-	for _, r := range c.pending {
+func tracked(s state, obj types.Object) bool {
+	for r := range s {
 		if r.buf == obj {
 			return true
 		}
 	}
 	return false
-}
-
-func (c *checker) clearBuf(obj types.Object) {
-	kept := c.pending[:0]
-	for _, r := range c.pending {
-		if r.buf != obj {
-			kept = append(kept, r)
-		}
-	}
-	c.pending = kept
 }
 
 func (c *checker) objectIfIdent(e ast.Expr) types.Object {
@@ -330,11 +292,32 @@ func (c *checker) objectIfIdent(e ast.Expr) types.Object {
 	return c.pass.Pkg.Info.ObjectOf(id)
 }
 
-func (c *checker) reportWrite(pos token.Pos, obj types.Object) {
-	for _, r := range c.pending {
+// reportWrite emits one diagnostic for a write to a buffer outstanding on
+// some path. Several records may name the buffer (e.g. a Put in each
+// branch); the earliest is reported, deterministically.
+func (c *checker) reportWrite(pos token.Pos, obj types.Object, s state) {
+	if !c.report {
+		return
+	}
+	var hits []rec
+	for r := range s {
 		if r.buf == obj {
-			c.pass.Reportf(pos, "origin buffer %s of %s (line %d) written before Waitcntr/Getcntr on its origin counter %s: the buffer belongs to LAPI until the origin counter fires (§2.3)", obj.Name(), r.op, r.line, r.cntr.Name())
-			return
+			hits = append(hits, r)
 		}
 	}
+	if len(hits) == 0 {
+		return
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		a, b := hits[i], hits[j]
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.op != b.op {
+			return a.op < b.op
+		}
+		return a.cntr.Name() < b.cntr.Name()
+	})
+	r := hits[0]
+	c.pass.Reportf(pos, "origin buffer %s of %s (line %d) written before Waitcntr/Getcntr on its origin counter %s: the buffer belongs to LAPI until the origin counter fires (§2.3)", obj.Name(), r.op, r.line, r.cntr.Name())
 }

@@ -107,3 +107,79 @@ func rebindRetires(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
 	buf[0] = 1
 	t.Waitcntr(ctx, org, 1)
 }
+
+// waitInOneBranchStillPending is the branch-carried case the old
+// statement-order scan missed: the wait happens only on the fast path, so
+// on the slow path the Put is still draining the buffer when the write
+// lands after the join.
+func waitInOneBranchStillPending(ctx exec.Context, t *lapi.Task, addr lapi.Addr, fast bool) {
+	buf := make([]byte, 64)
+	org := t.NewCounter()
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, org, nil)
+	if fast {
+		t.Waitcntr(ctx, org, 1)
+	}
+	buf[0] = 1 // want `origin buffer buf of Put .* written before Waitcntr`
+	t.Waitcntr(ctx, org, 1)
+}
+
+// waitInBothBranchesClean: every path into the write has waited.
+func waitInBothBranchesClean(ctx exec.Context, t *lapi.Task, addr lapi.Addr, fast bool) {
+	buf := make([]byte, 64)
+	org := t.NewCounter()
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, org, nil)
+	if fast {
+		t.Waitcntr(ctx, org, 1)
+	} else {
+		t.Waitcntr(ctx, org, 1)
+	}
+	buf[0] = 1
+}
+
+// loopCarriedPending is the loop-carried case the old in-order scan missed:
+// from iteration 1 on, the copy overwrites the buffer while the previous
+// iteration's Put is still outstanding (the only wait is after the loop).
+func loopCarriedPending(ctx exec.Context, t *lapi.Task, addr lapi.Addr, msgs [][]byte) {
+	buf := make([]byte, 64)
+	org := t.NewCounter()
+	for _, m := range msgs {
+		copy(buf, m) // want `origin buffer buf of Put .* written before Waitcntr`
+		t.Put(ctx, 1, addr, buf, lapi.NoCounter, org, nil)
+	}
+	t.Waitcntr(ctx, org, len(msgs))
+}
+
+// loopWaitEachIterClean: waiting inside the body after the Put makes the
+// back edge carry a clean state into the next iteration's copy.
+func loopWaitEachIterClean(ctx exec.Context, t *lapi.Task, addr lapi.Addr, msgs [][]byte) {
+	buf := make([]byte, 64)
+	org := t.NewCounter()
+	for _, m := range msgs {
+		copy(buf, m)
+		t.Put(ctx, 1, addr, buf, lapi.NoCounter, org, nil)
+		t.Waitcntr(ctx, org, 1)
+	}
+}
+
+// deferredWaitTooLate: the deferred wait runs at function exit, after the
+// write has already raced the transfer.
+func deferredWaitTooLate(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
+	buf := make([]byte, 64)
+	org := t.NewCounter()
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, org, nil)
+	defer t.Waitcntr(ctx, org, 1)
+	buf[0] = 1 // want `origin buffer buf of Put .* written before Waitcntr`
+}
+
+// earlyReturnClean: the error path returns before the write; the normal
+// path waits first. No path writes while the buffer is lent out.
+func earlyReturnClean(ctx exec.Context, t *lapi.Task, addr lapi.Addr, bad bool) {
+	buf := make([]byte, 64)
+	org := t.NewCounter()
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, org, nil)
+	if bad {
+		return
+	}
+	t.Waitcntr(ctx, org, 1)
+	buf[0] = 1
+}

@@ -1,0 +1,438 @@
+// Package cfg builds per-function control-flow graphs over go/ast, the
+// substrate for lapivet's flow-sensitive passes (internal/analysis/dataflow
+// runs a worklist solver over these graphs). The builder is purely
+// syntactic: it needs no type information, so it can run before a pass
+// decides whether the function is interesting.
+//
+// A Graph has one Block per straight-line region. Blocks hold leaf nodes —
+// whole simple statements (assignments, expression statements, sends,
+// declarations) and the condition/tag expressions of control statements —
+// in evaluation order; the builder never places a composite statement in a
+// block, so a transfer function may ast.Inspect each node without seeing
+// the same code twice. Two deliberate representation choices:
+//
+//   - The per-iteration key/value binding of a range statement appears as a
+//     synthesized *ast.AssignStmt with an empty Rhs (the ranged operand is a
+//     separate leaf, evaluated once before the loop). Transfer functions
+//     treat an empty-Rhs assignment as "left-hand sides rebound to unknown
+//     values".
+//
+//   - defer is modeled at both ends: the *ast.DeferStmt leaf marks argument
+//     evaluation at registration, and the deferred *ast.CallExpr nodes are
+//     appended to the Exit block in LIFO order, where the calls actually
+//     run. Transfer functions should apply call effects only to the bare
+//     CallExpr (skip DeferStmt bodies). Deferred calls are modeled as
+//     unconditional — a defer registered inside a branch still appears at
+//     Exit — which over-approximates releases and so errs toward silence.
+//
+// Function literals are opaque leaves: their bodies never join the
+// enclosing graph. Passes analyze each literal as its own function.
+//
+// panic(...), os.Exit, runtime.Goexit and log.Fatal* terminate their block
+// with no successors; the normal Exit block is reachable only by returning
+// or falling off the end, so "at function exit" checks skip panicking
+// paths.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Block is a maximal straight-line sequence of leaf nodes.
+type Block struct {
+	// Index is the block's position in Graph.Blocks (creation order, which
+	// follows source order — deterministic for diagnostics).
+	Index int
+	// Kind labels the block's role ("entry", "if.then", "for.head", ...)
+	// for tests and debugging.
+	Kind string
+	// Nodes are the leaf statements and expressions, in evaluation order.
+	Nodes []ast.Node
+	// Succs and Preds are the control-flow edges.
+	Succs, Preds []*Block
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	// Blocks lists every block in creation order; Blocks[0] is Entry.
+	Blocks []*Block
+	// Entry is where execution starts.
+	Entry *Block
+	// Exit is the normal-return block. Its Nodes are the deferred calls in
+	// LIFO order. Unreachable (never added an edge) when every path panics
+	// or loops forever.
+	Exit *Block
+}
+
+// New builds the control-flow graph of one function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: make(map[string]*Block)}
+	g.Entry = b.newBlock("entry")
+	g.Exit = &Block{Kind: "exit"} // appended to Blocks last, below
+	b.cur = g.Entry
+	b.stmtList(body.List)
+	b.edge(b.cur, g.Exit)
+	for _, pg := range b.gotos {
+		if lb, ok := b.labels[pg.label]; ok {
+			b.edge(pg.from, lb)
+		}
+	}
+	for i := len(b.defers) - 1; i >= 0; i-- {
+		g.Exit.Nodes = append(g.Exit.Nodes, b.defers[i])
+	}
+	g.Exit.Index = len(g.Blocks)
+	g.Blocks = append(g.Blocks, g.Exit)
+	return g
+}
+
+// target is one enclosing breakable/continuable construct.
+type target struct {
+	label string
+	brk   *Block // break destination
+	cont  *Block // continue destination; nil for switch/select
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block
+	stack  []target
+	labels map[string]*Block
+	gotos  []pendingGoto
+	defers []ast.Node
+	// label pending for the immediately following for/range/switch/select.
+	label string
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// leaf appends a node to the current block.
+func (b *builder) leaf(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// takeLabel consumes the pending statement label, if any.
+func (b *builder) takeLabel() string {
+	l := b.label
+	b.label = ""
+	return l
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.LabeledStmt:
+		lb := b.newBlock("label." + s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.labels[s.Label.Name] = lb
+		b.label = s.Label.Name
+		b.stmt(s.Stmt)
+		b.label = ""
+
+	case *ast.IfStmt:
+		b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.leaf(s.Cond)
+		cond := b.cur
+		then := b.newBlock("if.then")
+		after := b.newBlock("if.after")
+		b.edge(cond, then)
+		b.cur = then
+		b.stmtList(s.Body.List)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock("for.head")
+		body := b.newBlock("for.body")
+		after := b.newBlock("for.after")
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock("for.post")
+			cont = post
+		}
+		b.edge(b.cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			b.edge(head, after)
+		}
+		b.edge(head, body)
+		b.stack = append(b.stack, target{label: label, brk: after, cont: cont})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.stack = b.stack[:len(b.stack)-1]
+		b.edge(b.cur, cont)
+		if post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.edge(b.cur, head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.leaf(s.X) // ranged operand, evaluated once
+		head := b.newBlock("range.head")
+		body := b.newBlock("range.body")
+		after := b.newBlock("range.after")
+		b.edge(b.cur, head)
+		b.edge(head, body)
+		b.edge(head, after)
+		// Per-iteration key/value binding, as a synthesized assignment with
+		// an empty Rhs ("rebound to unknown values").
+		if s.Key != nil || s.Value != nil {
+			a := &ast.AssignStmt{Tok: s.Tok, TokPos: s.For}
+			if s.Key != nil {
+				a.Lhs = append(a.Lhs, s.Key)
+			}
+			if s.Value != nil {
+				a.Lhs = append(a.Lhs, s.Value)
+			}
+			head.Nodes = append(head.Nodes, a)
+		}
+		b.stack = append(b.stack, target{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmtList(s.Body.List)
+		b.stack = b.stack[:len(b.stack)-1]
+		b.edge(b.cur, head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.leaf(s.Tag)
+		b.caseClauses(label, s.Body.List, func(cc *ast.CaseClause, blk *Block) {
+			for _, e := range cc.List {
+				blk.Nodes = append(blk.Nodes, e)
+			}
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.leaf(s.Assign)
+		b.caseClauses(label, s.Body.List, func(cc *ast.CaseClause, blk *Block) {})
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		after := b.newBlock("select.after")
+		b.stack = append(b.stack, target{label: label, brk: after})
+		for _, cc := range s.Body.List {
+			cl := cc.(*ast.CommClause)
+			blk := b.newBlock("select.case")
+			b.edge(head, blk)
+			b.cur = blk
+			if cl.Comm != nil {
+				b.stmt(cl.Comm)
+			}
+			b.stmtList(cl.Body)
+			b.edge(b.cur, after)
+		}
+		b.stack = b.stack[:len(b.stack)-1]
+		b.cur = after
+
+	case *ast.ReturnStmt:
+		b.leaf(s)
+		b.edge(b.cur, b.g.Exit)
+		b.cur = b.newBlock("unreachable")
+
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findTarget(s.Label, false); t != nil {
+				b.edge(b.cur, t.brk)
+			}
+			b.cur = b.newBlock("unreachable")
+		case token.CONTINUE:
+			if t := b.findTarget(s.Label, true); t != nil {
+				b.edge(b.cur, t.cont)
+			}
+			b.cur = b.newBlock("unreachable")
+		case token.GOTO:
+			if lb, ok := b.labels[s.Label.Name]; ok {
+				b.edge(b.cur, lb)
+			} else {
+				b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+			}
+			b.cur = b.newBlock("unreachable")
+		case token.FALLTHROUGH:
+			// Linked by caseClauses, which inspects each clause's last
+			// statement; nothing to do here.
+		}
+
+	case *ast.DeferStmt:
+		b.leaf(s) // argument evaluation at registration
+		b.defers = append(b.defers, s.Call)
+
+	case *ast.ExprStmt:
+		b.leaf(s)
+		if isTerminatorCall(s.X) {
+			b.cur = b.newBlock("unreachable")
+		}
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assign, IncDec, Send, Go, Decl, ...: simple statements.
+		b.leaf(s)
+	}
+}
+
+// caseClauses builds the shared case-dispatch shape of switch and type
+// switch: the current block fans out to one block per clause (plus the
+// after block when there is no default), and a trailing fallthrough links a
+// clause to its successor.
+func (b *builder) caseClauses(label string, clauses []ast.Stmt, guards func(*ast.CaseClause, *Block)) {
+	head := b.cur
+	after := b.newBlock("switch.after")
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock("case")
+		if cc.(*ast.CaseClause).List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.stack = append(b.stack, target{label: label, brk: after})
+	for i, cc := range clauses {
+		cl := cc.(*ast.CaseClause)
+		b.edge(head, blocks[i])
+		guards(cl, blocks[i])
+		b.cur = blocks[i]
+		b.stmtList(cl.Body)
+		if fallsThrough(cl.Body) && i+1 < len(blocks) {
+			b.edge(b.cur, blocks[i+1])
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	b.stack = b.stack[:len(b.stack)-1]
+	b.cur = after
+}
+
+// fallsThrough reports whether a case body ends in a fallthrough statement.
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	s := body[len(body)-1]
+	for {
+		if ls, ok := s.(*ast.LabeledStmt); ok {
+			s = ls.Stmt
+			continue
+		}
+		br, ok := s.(*ast.BranchStmt)
+		return ok && br.Tok == token.FALLTHROUGH
+	}
+}
+
+// findTarget resolves a break/continue destination on the enclosing-target
+// stack. continue skips non-loop targets (switch/select).
+func (b *builder) findTarget(label *ast.Ident, needLoop bool) *target {
+	for i := len(b.stack) - 1; i >= 0; i-- {
+		t := &b.stack[i]
+		if needLoop && t.cont == nil {
+			continue
+		}
+		if label == nil || t.label == label.Name {
+			return t
+		}
+	}
+	return nil
+}
+
+// isTerminatorCall reports whether e is a call that never returns. The
+// check is syntactic (the builder has no type information): a shadowed
+// panic or a local os.Exit would be misclassified, which costs an
+// unreachable-in-practice block, not a missed edge.
+func isTerminatorCall(e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		pkg, ok := ast.Unparen(fun.X).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch {
+		case pkg.Name == "os" && fun.Sel.Name == "Exit":
+			return true
+		case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+			return true
+		case pkg.Name == "log" && strings.HasPrefix(fun.Sel.Name, "Fatal"):
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the graph compactly for tests and debugging:
+// one line per block, "#index(kind) -> succ,succ".
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "#%d(%s) %d nodes ->", blk.Index, blk.Kind, len(blk.Nodes))
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&sb, " %d", s.Index)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,368 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// build parses src (a file body without the package clause), builds the
+// graph of the function named name, and returns it with the fileset.
+func build(t *testing.T, src, name string) (*Graph, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package x\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return New(fd.Body), fset
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil, nil
+}
+
+// blockWith returns the first block containing a node that starts on the
+// given source line (line 1 is the injected package clause).
+func blockWith(t *testing.T, g *Graph, fset *token.FileSet, line int) *Block {
+	t.Helper()
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			if fset.Position(n.Pos()).Line == line {
+				return blk
+			}
+		}
+	}
+	t.Fatalf("no block holds a node on line %d:\n%s", line, g)
+	return nil
+}
+
+func hasEdge(from, to *Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+// reaches reports whether to is reachable from from.
+func reaches(from, to *Block) bool {
+	seen := make(map[*Block]bool)
+	var walk func(*Block) bool
+	walk = func(b *Block) bool {
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	g, fset := build(t, `
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`, "f")
+	body := blockWith(t, g, fset, 6) // s += i
+	ret := blockWith(t, g, fset, 8)  // return s
+	var head *Block
+	for _, blk := range g.Blocks {
+		if blk.Kind == "for.head" {
+			head = blk
+		}
+	}
+	if head == nil {
+		t.Fatalf("no for.head block:\n%s", g)
+	}
+	post := body.Succs[0] // i++
+	if !hasEdge(post, head) {
+		t.Errorf("no back edge body-post -> head:\n%s", g)
+	}
+	if !reaches(head, ret) {
+		t.Errorf("loop exit cannot reach return:\n%s", g)
+	}
+	if !hasEdge(ret, g.Exit) {
+		t.Errorf("return does not reach exit:\n%s", g)
+	}
+}
+
+func TestInfiniteLoopExitUnreachable(t *testing.T) {
+	g, fset := build(t, `
+func f() {
+	x := 0
+	for {
+		x++
+	}
+}`, "f")
+	if reaches(blockWith(t, g, fset, 4), g.Exit) {
+		t.Errorf("exit reachable through for{}:\n%s", g)
+	}
+}
+
+func TestEarlyReturnSkipsTail(t *testing.T) {
+	g, fset := build(t, `
+func f(err error) int {
+	if err != nil {
+		return 0
+	}
+	cleanup()
+	return 1
+}`, "f")
+	early := blockWith(t, g, fset, 5) // return 0
+	tail := blockWith(t, g, fset, 7)  // cleanup()
+	if !hasEdge(early, g.Exit) {
+		t.Errorf("early return not wired to exit:\n%s", g)
+	}
+	if reaches(early, tail) {
+		t.Errorf("early return flows into the tail:\n%s", g)
+	}
+	cond := blockWith(t, g, fset, 4)
+	if !reaches(cond, tail) {
+		t.Errorf("false branch cannot reach the tail:\n%s", g)
+	}
+}
+
+func TestSwitchFanOutAndFallthrough(t *testing.T) {
+	g, fset := build(t, `
+func f(x int) int {
+	r := 0
+	switch x {
+	case 1:
+		r = 1
+		fallthrough
+	case 2:
+		r = 2
+	case 3:
+		r = 3
+	}
+	return r
+}`, "f")
+	head := blockWith(t, g, fset, 4) // switch tag x
+	c1 := blockWith(t, g, fset, 7)   // r = 1
+	c2 := blockWith(t, g, fset, 10)  // r = 2
+	c3 := blockWith(t, g, fset, 12)  // r = 3
+	ret := blockWith(t, g, fset, 14)
+	for _, c := range []*Block{c1, c2, c3} {
+		if !hasEdge(head, c) && !reaches(head, c) {
+			t.Errorf("switch head does not reach case #%d:\n%s", c.Index, g)
+		}
+	}
+	if !hasEdge(c1, c2) {
+		t.Errorf("fallthrough edge case1 -> case2 missing:\n%s", g)
+	}
+	if hasEdge(c2, c3) {
+		t.Errorf("unexpected edge case2 -> case3:\n%s", g)
+	}
+	// No default: the head must be able to bypass every case.
+	if !hasEdge(head, ret) && !reaches(head, ret) {
+		t.Errorf("no-default switch cannot bypass cases:\n%s", g)
+	}
+}
+
+func TestSwitchDefaultCoversHead(t *testing.T) {
+	g, fset := build(t, `
+func f(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	default:
+		return 2
+	}
+}`, "f")
+	head := blockWith(t, g, fset, 5) // case guard expression x > 0
+	_ = head
+	// With a default, the only successors of the dispatch are the clauses:
+	// the after block must be unreachable from entry.
+	var after *Block
+	for _, blk := range g.Blocks {
+		if blk.Kind == "switch.after" {
+			after = blk
+		}
+	}
+	if after == nil {
+		t.Fatalf("no switch.after block:\n%s", g)
+	}
+	if reaches(g.Entry, after) {
+		t.Errorf("switch.after reachable despite default clause:\n%s", g)
+	}
+}
+
+func TestSelect(t *testing.T) {
+	g, fset := build(t, `
+func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case <-b:
+		return 0
+	}
+}`, "f")
+	recvA := blockWith(t, g, fset, 5) // case v := <-a
+	recvB := blockWith(t, g, fset, 7) // case <-b
+	if !reaches(g.Entry, recvA) || !reaches(g.Entry, recvB) {
+		t.Errorf("select clauses unreachable:\n%s", g)
+	}
+	if reaches(recvA, recvB) || reaches(recvB, recvA) {
+		t.Errorf("select clauses flow into each other:\n%s", g)
+	}
+}
+
+func TestDeferRunsAtExit(t *testing.T) {
+	g, fset := build(t, `
+func f() {
+	defer release()
+	defer closeit()
+	work()
+}`, "f")
+	if len(g.Exit.Nodes) != 2 {
+		t.Fatalf("exit holds %d deferred calls, want 2:\n%s", len(g.Exit.Nodes), g)
+	}
+	// LIFO: the later defer (closeit, line 5) runs first.
+	first := fset.Position(g.Exit.Nodes[0].Pos()).Line
+	second := fset.Position(g.Exit.Nodes[1].Pos()).Line
+	if first != 5 || second != 4 {
+		t.Errorf("deferred calls at lines %d,%d; want 5,4 (LIFO):\n%s", first, second, g)
+	}
+	// The DeferStmt leaves still appear in the body for argument evaluation.
+	reg := blockWith(t, g, fset, 4)
+	if !reaches(g.Entry, reg) {
+		t.Errorf("defer registration unreachable:\n%s", g)
+	}
+}
+
+func TestPanicTerminatesBlock(t *testing.T) {
+	g, fset := build(t, `
+func f(bad bool) {
+	if bad {
+		panic("bad")
+	}
+	work()
+}`, "f")
+	pan := blockWith(t, g, fset, 5)
+	if reaches(pan, g.Exit) {
+		t.Errorf("panic path reaches normal exit:\n%s", g)
+	}
+}
+
+func TestRangeSynthesizedAssignAndBackEdge(t *testing.T) {
+	g, fset := build(t, `
+func f(xs []int) int {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}`, "f")
+	var head *Block
+	for _, blk := range g.Blocks {
+		if blk.Kind == "range.head" {
+			head = blk
+		}
+	}
+	if head == nil {
+		t.Fatalf("no range.head block:\n%s", g)
+	}
+	found := false
+	for _, n := range head.Nodes {
+		if a, ok := n.(*ast.AssignStmt); ok && len(a.Rhs) == 0 && len(a.Lhs) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("range head lacks the synthesized empty-Rhs assignment:\n%s", g)
+	}
+	body := blockWith(t, g, fset, 6)
+	if !hasEdge(body, head) {
+		t.Errorf("no back edge range body -> head:\n%s", g)
+	}
+	_ = fset
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	g, fset := build(t, `
+func f(n int) int {
+	s := 0
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 1 {
+				continue outer
+			}
+			if j == 2 {
+				break outer
+			}
+			s++
+		}
+	}
+	return s
+}`, "f")
+	ret := blockWith(t, g, fset, 17)
+	inc := blockWith(t, g, fset, 14) // s++
+	if !reaches(g.Entry, inc) || !reaches(inc, ret) {
+		t.Errorf("inner body disconnected:\n%s", g)
+	}
+	// continue outer must bypass s++ yet still allow another outer
+	// iteration; break outer must reach the return.
+	contBlk := blockWith(t, g, fset, 8) // j == 1 guard's then-branch target line: continue stmt line 9? guard on 8
+	_ = contBlk
+	if !reaches(blockWith(t, g, fset, 7), ret) {
+		t.Errorf("break outer cannot reach return:\n%s", g)
+	}
+}
+
+func TestGotoBackward(t *testing.T) {
+	g, fset := build(t, `
+func f(n int) int {
+	i := 0
+loop:
+	i++
+	if i < n {
+		goto loop
+	}
+	return i
+}`, "f")
+	incr := blockWith(t, g, fset, 6) // i++
+	ret := blockWith(t, g, fset, 10)
+	if !reaches(incr, incr) {
+		// reaches(x, x) is trivially true; assert the cycle through goto
+		// instead: the guard must reach the increment again.
+		t.Fatal("unexpected")
+	}
+	guard := blockWith(t, g, fset, 7)
+	if !reaches(guard, incr) {
+		t.Errorf("goto loop back edge missing:\n%s", g)
+	}
+	if !reaches(guard, ret) {
+		t.Errorf("fallthrough to return missing:\n%s", g)
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	g, _ := build(t, `
+func f() {
+	x := 1
+	_ = x
+}`, "f")
+	s := g.String()
+	if !strings.Contains(s, "entry") || !strings.Contains(s, "exit") {
+		t.Errorf("String() lacks entry/exit: %s", s)
+	}
+}

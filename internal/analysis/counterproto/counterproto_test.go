@@ -1,0 +1,13 @@
+package counterproto_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"golapi/internal/analysis/analysistest"
+	"golapi/internal/analysis/counterproto"
+)
+
+func TestCounterproto(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "cp"), counterproto.Analyzer)
+}

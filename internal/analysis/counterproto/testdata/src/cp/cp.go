@@ -1,0 +1,142 @@
+// Package cp is the counterproto golden test: a Waitcntr/Getcntr on a
+// locally-created counter that no path has armed (no comm-op counter slot,
+// no Setcntr) can never complete. Counters that escape the function's view
+// are exempt.
+package cp
+
+import (
+	"golapi/internal/exec"
+	"golapi/internal/lapi"
+)
+
+// neverArmed is the basic deadlock: nothing will ever bump c.
+func neverArmed(ctx exec.Context, t *lapi.Task) {
+	c := t.NewCounter()
+	t.Waitcntr(ctx, c, 1) // want `Waitcntr on counter c which no path has armed`
+}
+
+// waitBeforeArmInBranch is the branch-carried case a statement-order scan
+// cannot express: on the early path the wait runs before ANY arming — the
+// Put below it is unreachable from that wait.
+func waitBeforeArmInBranch(ctx exec.Context, t *lapi.Task, addr lapi.Addr, early bool) {
+	buf := make([]byte, 8)
+	c := t.NewCounter()
+	if early {
+		t.Waitcntr(ctx, c, 1) // want `Waitcntr on counter c which no path has armed`
+	}
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, c, nil)
+	t.Waitcntr(ctx, c, 1)
+}
+
+// getcntrNeverArmed: polling a counter nothing will bump spins forever.
+func getcntrNeverArmed(ctx exec.Context, t *lapi.Task) {
+	c := t.NewCounter()
+	for t.Getcntr(ctx, c) < 1 { // want `Getcntr on counter c which no path has armed`
+		t.Probe(ctx)
+	}
+}
+
+// nilCompareStillChecked: a nil guard is an understood use, so the counter
+// stays eligible and the unarmed wait inside the guard is still caught.
+func nilCompareStillChecked(ctx exec.Context, t *lapi.Task) {
+	c := t.NewCounter()
+	if c != nil {
+		t.Waitcntr(ctx, c, 1) // want `Waitcntr on counter c which no path has armed`
+	}
+}
+
+// valueUseStillChecked: Value() reads locally and keeps eligibility.
+func valueUseStillChecked(ctx exec.Context, t *lapi.Task) {
+	c := t.NewCounter()
+	if c.Value() == 0 {
+		t.Waitcntr(ctx, c, 1) // want `Waitcntr on counter c which no path has armed`
+	}
+}
+
+// originSlotArms is the clean baseline: Put's origin slot arms c.
+func originSlotArms(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
+	buf := make([]byte, 8)
+	c := t.NewCounter()
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, c, nil)
+	t.Waitcntr(ctx, c, 1)
+}
+
+// cmplSlotArms: the completion slot arms too.
+func cmplSlotArms(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
+	buf := make([]byte, 8)
+	c := t.NewCounter()
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, nil, c)
+	t.Waitcntr(ctx, c, 1)
+}
+
+// rmwArms: Rmw's origin slot arms.
+func rmwArms(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
+	var prev int64
+	c := t.NewCounter()
+	t.Rmw(ctx, lapi.RmwFetchAndAdd, 1, addr, 1, 0, &prev, c)
+	t.Waitcntr(ctx, c, 1)
+}
+
+// armInOneBranchThenWait is clean under may-semantics: SOME path arms c
+// before the wait, and the pass only reports waits no path can satisfy.
+func armInOneBranchThenWait(ctx exec.Context, t *lapi.Task, addr lapi.Addr, f bool) {
+	buf := make([]byte, 8)
+	c := t.NewCounter()
+	if f {
+		t.Put(ctx, 1, addr, buf, lapi.NoCounter, c, nil)
+	}
+	t.Waitcntr(ctx, c, 1)
+}
+
+// armedInLoop is clean: the loop-path arms c (the zero-iteration path is
+// covered by may-semantics).
+func armedInLoop(ctx exec.Context, t *lapi.Task, addr lapi.Addr, n int) {
+	buf := make([]byte, 8)
+	c := t.NewCounter()
+	for i := 0; i < n; i++ {
+		t.Put(ctx, 1, addr, buf, lapi.NoCounter, c, nil)
+	}
+	t.Waitcntr(ctx, c, n)
+}
+
+// setcntrArms: priming the counter is an understood arming.
+func setcntrArms(ctx exec.Context, t *lapi.Task) {
+	c := t.NewCounter()
+	t.Setcntr(ctx, c, 1)
+	t.Waitcntr(ctx, c, 1)
+}
+
+// escapedExempt: a helper may arm the counter out of the pass's sight.
+func escapedExempt(ctx exec.Context, t *lapi.Task) {
+	c := t.NewCounter()
+	register(c)
+	t.Waitcntr(ctx, c, 1)
+}
+
+func register(*lapi.Counter) {}
+
+// idExempt: exporting the counter id to a target slot means remote
+// operations can bump it.
+func idExempt(ctx exec.Context, t *lapi.Task) {
+	c := t.NewCounter()
+	_ = c.ID()
+	t.Waitcntr(ctx, c, 1)
+}
+
+// capturedExempt: a literal may arm the counter at an unknown time.
+func capturedExempt(ctx exec.Context, t *lapi.Task, run func(func())) {
+	c := t.NewCounter()
+	run(func() { t.Setcntr(ctx, c, 1) })
+	t.Waitcntr(ctx, c, 1)
+}
+
+// rebindResets: the second counter is fresh, so the old arming does not
+// carry over.
+func rebindResets(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
+	buf := make([]byte, 8)
+	c := t.NewCounter()
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, c, nil)
+	t.Waitcntr(ctx, c, 1)
+	c = t.NewCounter()
+	t.Waitcntr(ctx, c, 1) // want `Waitcntr on counter c which no path has armed`
+}

@@ -95,6 +95,47 @@ func copyFirst(t *lapi.Task) {
 	})
 }
 
+// loopCarriedStore is the flow-sensitive case the old source-order scan
+// provably missed: on every iteration after the first, the store publishes
+// the alias taken on the PREVIOUS iteration. The store precedes the alias
+// assignment in source order, so a single in-order walk sees no alias yet;
+// the CFG back edge carries it to the store.
+func loopCarriedStore(t *lapi.Task) {
+	t.RegisterHandler(func(tk *lapi.Task, info *lapi.AmInfo) (lapi.Addr, lapi.CompletionHandler) {
+		var p []byte
+		for i := 0; i < 2; i++ {
+			savedHdr = p // want `pooled packet slice .*package-level variable`
+			p = info.UHdr
+		}
+		return lapi.AddrNil, nil
+	})
+}
+
+// branchAlias publishes the alias only when one branch took it; the
+// may-union at the join keeps the obligation.
+func branchAlias(t *lapi.Task) {
+	t.RegisterHandler(func(tk *lapi.Task, info *lapi.AmInfo) (lapi.Addr, lapi.CompletionHandler) {
+		var p []byte
+		if len(info.UHdr) > 4 {
+			p = info.UHdr
+		}
+		savedHdr = p // want `pooled packet slice .*package-level variable`
+		return lapi.AddrNil, nil
+	})
+}
+
+// rebindToCopyClean is the false positive the old accumulating scan
+// produced: p aliased the packet once, but is rebound to a private copy
+// before the store, which kills the alias.
+func rebindToCopyClean(t *lapi.Task) {
+	t.RegisterHandler(func(tk *lapi.Task, info *lapi.AmInfo) (lapi.Addr, lapi.CompletionHandler) {
+		p := info.UHdr
+		p = append([]byte(nil), p...)
+		savedHdr = p
+		return lapi.AddrNil, nil
+	})
+}
+
 // readOnly parses the header inside the handler and keeps only scalars;
 // scalar fields of info (DataLen, Src) may be used anywhere.
 func readOnly(t *lapi.Task) {

@@ -12,8 +12,10 @@ import (
 
 // Import paths the passes care about.
 const (
-	LapiPath = "golapi/internal/lapi"
-	ExecPath = "golapi/internal/exec"
+	LapiPath   = "golapi/internal/lapi"
+	ExecPath   = "golapi/internal/exec"
+	FabricPath = "golapi/internal/fabric"
+	TcpnetPath = "golapi/internal/tcpnet"
 )
 
 // Lookup returns the types.Package for a module import path, whether it is

@@ -361,6 +361,12 @@ func (e *Endpoint) writeLoop(cn *conn) {
 			iov = append(iov, lens[i][:], frames[i].data)
 		}
 		if _, err := iov.WriteTo(cn.c); err != nil {
+			// The batch dies with the connection, but its frame buffers must
+			// still go back to the pool (the senders handed ownership over).
+			for i := 0; i < nf; i++ {
+				pool.put(frames[i].data)
+				frames[i] = outFrame{}
+			}
 			return
 		}
 		clear(iovBuf[:2*nf])
@@ -387,6 +393,7 @@ func (e *Endpoint) readLoop(peer int, cn *conn) {
 		}
 		data := pool.get(int(n))
 		if _, err := io.ReadFull(cn.c, data); err != nil {
+			pool.put(data)
 			return
 		}
 		// The receiver owns data until it calls Release (Contract).
