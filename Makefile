@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race lint lint-json bench benchsmoke determinism
+.PHONY: check fmt vet build test race lint lint-json bench benchsmoke determinism gatesmoke bench-gateway
 
-check: fmt vet build test race lint determinism benchsmoke
+check: fmt vet build test race lint determinism benchsmoke gatesmoke
 
 fmt:
 	@files=$$(gofmt -l .); \
@@ -28,6 +28,7 @@ race:
 	$(GO) test -race ./internal/tcpnet/ ./internal/exec/ ./internal/parallel/
 	$(GO) test -race -run 'TCP|Real' ./internal/collective/ ./internal/mpi/ ./internal/ga/
 	$(GO) test -race -run 'Sharded' ./internal/switchnet/ ./internal/cluster/
+	$(GO) test -race ./internal/gateway/...
 
 # The multicore determinism gate: every virtual-time experiment must emit
 # byte-identical output whether sweep points run serially or across the
@@ -77,3 +78,13 @@ bench:
 
 benchsmoke:
 	$(GO) run ./cmd/perfbench -quick
+
+# Gateway CI gate: a 2-rank mesh, 64 pipelined sessions, strict outcome
+# checks (every request answered, zero errors, mesh count cross-checked).
+gatesmoke:
+	$(GO) run ./cmd/lapigate -mode smoke
+
+# Full gateway load run: 1000 concurrent sessions in one process, 100k
+# requests; refreshes BENCH_gateway.json (req/s, p50, p99).
+bench-gateway:
+	$(GO) run ./cmd/lapigate -mode bench -o BENCH_gateway.json

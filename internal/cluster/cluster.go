@@ -196,6 +196,28 @@ func (j *TCPJob) Run(main func(ctx exec.Context, t *lapi.Task)) error {
 		})
 	}
 	wg.Wait()
+	j.Shutdown()
+	return nil
+}
+
+// N returns the number of tasks in the job.
+func (j *TCPJob) N() int { return len(j.Tasks) }
+
+// Runtime returns task i's serialization domain. Long-lived servers (the
+// gateway) need it to post external work — client requests arriving off
+// TCP read loops — into the task's single-threaded protocol view.
+func (j *TCPJob) Runtime(i int) *exec.RealRuntime { return j.rts[i] }
+
+// Endpoint returns task i's transport endpoint. Exposed so co-located
+// servers can borrow its pooled Alloc/Release for frame buffers instead
+// of growing a second pool.
+func (j *TCPJob) Endpoint(i int) *tcpnet.Endpoint { return j.eps[i] }
+
+// Shutdown closes every task and drains the endpoints. Run calls it
+// automatically; callers that drive the job manually (servers that spawn
+// their own activities instead of SPMD mains) must call it themselves
+// once all activities have exited. Idempotent per task (Task.Close is).
+func (j *TCPJob) Shutdown() {
 	for i, t := range j.Tasks {
 		rt, task := j.rts[i], t
 		rt.Post(func() { task.Close() })
@@ -203,5 +225,4 @@ func (j *TCPJob) Run(main func(ctx exec.Context, t *lapi.Task)) error {
 	for _, ep := range j.eps {
 		ep.Drain()
 	}
-	return nil
 }

@@ -56,6 +56,16 @@ func (r *RealRuntime) PostPacket(fn func(src int, data []byte), src int, data []
 	fn(src, data)
 }
 
+// PostArg runs fn(arg) serialized. Like PostPacket it exists for hot paths
+// that would otherwise allocate a closure per call: fn is bound once by the
+// caller and arg rides in the interface word (pointer payloads do not
+// allocate).
+func (r *RealRuntime) PostArg(fn func(arg any), arg any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn(arg)
+}
+
 // Go implements Runtime.
 func (r *RealRuntime) Go(name string, fn func(Context)) {
 	r.wg.Add(1)

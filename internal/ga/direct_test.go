@@ -1,0 +1,248 @@
+package ga_test
+
+// Tests for the direct-access exports (direct.go): the addresses and raw
+// bytes they expose must agree with the portable GA operations, because
+// the gateway moves data with raw LAPI Put/Get/Rmw against them.
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"golapi/internal/cluster"
+	"golapi/internal/exec"
+	"golapi/internal/ga"
+	"golapi/internal/lapi"
+)
+
+// runLAPIDirect runs main on a simulated LAPI cluster, handing each rank
+// both the GA world and the underlying LAPI task so tests can issue raw
+// one-sided ops against addresses reported by the direct exports.
+func runLAPIDirect(t *testing.T, n int, main func(ctx exec.Context, w *ga.World, lt *lapi.Task)) {
+	t.Helper()
+	c, err := cluster.NewSimDefault(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(func(ctx exec.Context, lt *lapi.Task) {
+		w, err := ga.NewLAPIWorld(ctx, lt, ga.DefaultConfig())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		main(ctx, w, lt)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalBlockMatchesDistribution(t *testing.T) {
+	runLAPIDirect(t, 4, func(ctx exec.Context, w *ga.World, lt *lapi.Task) {
+		a, err := w.Create(ctx, 37, 53) // ragged on a 2x2 grid
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Rank 0 fills the whole array with f(i,j) = 1000i + j.
+		if w.Self() == 0 {
+			rows, cols := a.Dims()
+			buf := make([]float64, rows*cols)
+			for i := 0; i < rows; i++ {
+				for j := 0; j < cols; j++ {
+					buf[i*cols+j] = float64(1000*i + j)
+				}
+			}
+			p := ga.Patch{RLo: 0, RHi: rows - 1, CLo: 0, CHi: cols - 1}
+			if err := a.Put(ctx, p, buf, cols); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		w.Sync(ctx)
+
+		local, block, ok := a.LocalBlock()
+		if !ok {
+			t.Errorf("rank %d: LocalBlock not available on LAPI backend", w.Self())
+			return
+		}
+		if got, want := local, a.Distribution(w.Self()); got != want {
+			t.Errorf("rank %d: LocalBlock patch %v != Distribution %v", w.Self(), got, want)
+		}
+		if len(block) != local.Elems()*8 {
+			t.Errorf("rank %d: block has %d bytes, want %d", w.Self(), len(block), local.Elems()*8)
+			return
+		}
+		// The raw bytes must be the block's values, big-endian, row-major
+		// with the block's column count as leading dimension.
+		for i := local.RLo; i <= local.RHi; i++ {
+			for j := local.CLo; j <= local.CHi; j++ {
+				off := ((i-local.RLo)*local.Cols() + (j - local.CLo)) * 8
+				got := math.Float64frombits(binary.BigEndian.Uint64(block[off:]))
+				if want := float64(1000*i + j); got != want {
+					t.Errorf("rank %d: block[%d,%d] = %v, want %v", w.Self(), i, j, got, want)
+					return
+				}
+			}
+		}
+		w.Sync(ctx)
+	})
+}
+
+func TestRowSpanAddressesAgreeWithGet(t *testing.T) {
+	runLAPIDirect(t, 4, func(ctx exec.Context, w *ga.World, lt *lapi.Task) {
+		a, err := w.Create(ctx, 19, 41)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if w.Self() == 0 {
+			rows, cols := a.Dims()
+			buf := make([]float64, rows*cols)
+			for i := range buf {
+				buf[i] = float64(i) * 0.5
+			}
+			p := ga.Patch{RLo: 0, RHi: rows - 1, CLo: 0, CHi: cols - 1}
+			if err := a.Put(ctx, p, buf, cols); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		w.Sync(ctx)
+
+		if w.Self() == 0 {
+			_, cols := a.Dims()
+			// Segments chosen to cross the column-block boundary of a 2x2
+			// grid on 41 columns (blockC=21), plus edge cases.
+			cases := []struct{ row, col, count int }{
+				{0, 0, cols}, // full row, both owners
+				{18, 20, 2},  // straddles the block boundary
+				{7, 21, 1},   // single element, right block
+				{12, 0, 21},  // exactly the left block
+				{3, 40, 1},   // last column
+				{5, 19, 22},  // boundary to end of row
+			}
+			for _, tc := range cases {
+				want := make([]float64, tc.count)
+				p := ga.Patch{RLo: tc.row, RHi: tc.row, CLo: tc.col, CHi: tc.col + tc.count - 1}
+				if err := a.Get(ctx, p, want, tc.count); err != nil {
+					t.Error(err)
+					return
+				}
+				got := make([]float64, tc.count)
+				covered := 0
+				okSpan := a.RowSpan(tc.row, tc.col, tc.count, func(owner int, addr lapi.Addr, off, elems int) {
+					if wantOwner := a.Owner(tc.row, tc.col+off); owner != wantOwner {
+						t.Errorf("RowSpan(%d,%d,%d): piece at off %d owned by %d, want %d",
+							tc.row, tc.col, tc.count, off, owner, wantOwner)
+					}
+					if off != covered {
+						t.Errorf("RowSpan(%d,%d,%d): piece offset %d, expected contiguous %d",
+							tc.row, tc.col, tc.count, off, covered)
+					}
+					covered = off + elems
+					raw := make([]byte, elems*8)
+					if err := lt.GetSync(ctx, owner, addr, raw, lapi.NoCounter); err != nil {
+						t.Error(err)
+						return
+					}
+					for k := 0; k < elems; k++ {
+						got[off+k] = math.Float64frombits(binary.BigEndian.Uint64(raw[k*8:]))
+					}
+				})
+				if !okSpan {
+					t.Errorf("RowSpan(%d,%d,%d) rejected a valid segment", tc.row, tc.col, tc.count)
+					continue
+				}
+				if covered != tc.count {
+					t.Errorf("RowSpan(%d,%d,%d) covered %d elements, want %d",
+						tc.row, tc.col, tc.count, covered, tc.count)
+					continue
+				}
+				for k := range want {
+					if got[k] != want[k] {
+						t.Errorf("RowSpan(%d,%d,%d): element %d = %v via raw Get, %v via ga.Get",
+							tc.row, tc.col, tc.count, k, got[k], want[k])
+						break
+					}
+				}
+			}
+			// Out-of-range segments must be rejected without calling fn.
+			for _, bad := range []struct{ row, col, count int }{
+				{-1, 0, 1}, {19, 0, 1}, {0, -1, 2}, {0, 40, 2}, {0, 0, 0},
+			} {
+				if a.RowSpan(bad.row, bad.col, bad.count, func(int, lapi.Addr, int, int) {
+					t.Errorf("RowSpan(%d,%d,%d) called fn on invalid segment", bad.row, bad.col, bad.count)
+				}) {
+					t.Errorf("RowSpan(%d,%d,%d) accepted an invalid segment", bad.row, bad.col, bad.count)
+				}
+			}
+		}
+		w.Sync(ctx)
+	})
+}
+
+func TestCounterLocationInteroperatesWithRmw(t *testing.T) {
+	runLAPIDirect(t, 3, func(ctx exec.Context, w *ga.World, lt *lapi.Task) {
+		c, err := w.CreateCounter(ctx)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		owner, addr, ok := c.Location()
+		if !ok {
+			t.Errorf("rank %d: Location not available on LAPI backend", w.Self())
+			return
+		}
+		// Rank 0 bumps the counter by 100 with a raw FetchAndAdd against the
+		// reported address; everyone else waits, then a portable ReadInc must
+		// observe the raw increment.
+		if w.Self() == 0 {
+			prev, err := lt.RmwSync(ctx, lapi.RmwFetchAndAdd, owner, addr, 100, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if prev != 0 {
+				t.Errorf("raw FetchAndAdd saw initial value %d, want 0", prev)
+			}
+		}
+		w.Sync(ctx)
+		got, err := c.ReadInc(ctx, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if got < 100 || got > 100+int64(w.N())-1 {
+			t.Errorf("rank %d: ReadInc after raw add returned %d, want in [100,%d]",
+				w.Self(), got, 100+w.N()-1)
+		}
+		w.Sync(ctx)
+	})
+}
+
+func TestDirectExportsUnavailableOnMPL(t *testing.T) {
+	runMPLWorld(t, 2, func(ctx exec.Context, w *ga.World) {
+		a, err := w.Create(ctx, 8, 8)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, _, ok := a.LocalBlock(); ok {
+			t.Error("LocalBlock reported ok on MPL backend")
+		}
+		if a.RowSpan(0, 0, 8, func(int, lapi.Addr, int, int) {
+			t.Error("RowSpan called fn on MPL backend")
+		}) {
+			t.Error("RowSpan reported ok on MPL backend")
+		}
+		c, err := w.CreateCounter(ctx)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, _, ok := c.Location(); ok {
+			t.Error("Location reported ok on MPL backend")
+		}
+		w.Sync(ctx)
+	})
+}

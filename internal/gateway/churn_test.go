@@ -1,0 +1,130 @@
+package gateway_test
+
+// Session-churn test (run under -race in `make check`): waves of clients
+// connect, issue mixed traffic, and vanish mid-flight without reading
+// their responses. The gateway must shed every session completely: no
+// goroutine leaks, no pooled-frame leaks, no wedged dispatchers.
+
+import (
+	"encoding/binary"
+	"math"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"golapi/internal/gateway/client"
+	"golapi/internal/gateway/proto"
+)
+
+// rudeClient connects, sends a burst of pipelined requests, and hangs up
+// without reading a single response.
+func rudeClient(t *testing.T, addr string, ah, ch uint32, burst int) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	buf := make([]byte, proto.HeaderSize+8+8*8)
+	h := proto.ReqHeader{Op: proto.OpHello, Seq: 1}
+	proto.PutReqHeader(buf, &h)
+	if _, err := conn.Write(buf[:proto.HeaderSize]); err != nil {
+		return // gateway already saw us off; fine
+	}
+	for i := 0; i < burst; i++ {
+		h = proto.ReqHeader{Seq: uint32(i + 2), Handle: ah, Row: uint32(i % 8), Col: uint32(i % 16), Count: 8}
+		switch i % 3 {
+		case 0:
+			h.Op = proto.OpPut
+			h.Plen = 64
+			proto.PutReqHeader(buf, &h)
+			for j := 0; j < 8; j++ {
+				binary.BigEndian.PutUint64(buf[proto.HeaderSize+j*8:], math.Float64bits(float64(i)))
+			}
+			conn.Write(buf[:proto.HeaderSize+64])
+		case 1:
+			h.Op = proto.OpGet
+			proto.PutReqHeader(buf, &h)
+			conn.Write(buf[:proto.HeaderSize])
+		default:
+			h.Op = proto.OpReadInc
+			h.Handle = ch
+			h.Row, h.Col, h.Count = 0, 0, 0
+			h.Plen = 8
+			proto.PutReqHeader(buf, &h)
+			binary.BigEndian.PutUint64(buf[proto.HeaderSize:], 1)
+			conn.Write(buf[:proto.HeaderSize+8])
+		}
+	}
+	// defer closes the conn with responses still in flight.
+}
+
+func TestSessionChurn(t *testing.T) {
+	srv := startGateway(t, 2)
+
+	// Set the shared objects up with one polite client.
+	ctl, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ah, st, err := ctl.CreateArray("churn.A", 8, 32)
+	if err != nil || st != proto.StatusOK {
+		t.Fatalf("create: %v %v", st, err)
+	}
+	ch, st, err := ctl.CreateCounter("churn.n")
+	if err != nil || st != proto.StatusOK {
+		t.Fatalf("create counter: %v %v", st, err)
+	}
+	ctl.Close()
+
+	baseline := runtime.NumGoroutine()
+	const waves, perWave, burst = 5, 12, 20
+	for w := 0; w < waves; w++ {
+		done := make(chan struct{}, perWave)
+		for i := 0; i < perWave; i++ {
+			go func() {
+				defer func() { done <- struct{}{} }()
+				rudeClient(t, srv.Addr(), ah, ch, burst)
+			}()
+		}
+		for i := 0; i < perWave; i++ {
+			<-done
+		}
+	}
+
+	// Sessions wind down asynchronously after the disconnects; poll.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if srv.Sessions() == 0 && srv.InflightFrames() == 0 &&
+			runtime.NumGoroutine() <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway did not quiesce: sessions=%d frames=%d goroutines=%d (baseline %d)",
+				srv.Sessions(), srv.InflightFrames(), runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The mesh must still serve polite clients after all that abuse.
+	c, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out := make([]float64, 8)
+	if st, err := c.Get(ah, 0, 0, out); err != nil || st != proto.StatusOK {
+		t.Fatalf("get after churn: %v %v", st, err)
+	}
+	if _, st, err := c.ReadInc(ch, 1); err != nil || st != proto.StatusOK {
+		t.Fatalf("readinc after churn: %v %v", st, err)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.InflightFrames() != 0 {
+		t.Fatalf("%d pooled frames held after close", srv.InflightFrames())
+	}
+}

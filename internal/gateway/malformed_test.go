@@ -1,0 +1,199 @@
+package gateway_test
+
+// Malformed-input tests: every framing violation must close exactly that
+// session with a protocol error — never panic, never wedge the mesh.
+// Application-level garbage (bad shapes) must answer StatusBadRequest and
+// keep the session alive; framing-level garbage is fatal to the session.
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"golapi/internal/gateway"
+	"golapi/internal/gateway/client"
+	"golapi/internal/gateway/proto"
+)
+
+// rawConn dials and optionally completes the Hello exchange.
+func rawConn(t *testing.T, addr string, hello bool) net.Conn {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hello {
+		var buf [proto.HeaderSize]byte
+		h := proto.ReqHeader{Op: proto.OpHello, Seq: 1}
+		proto.PutReqHeader(buf[:], &h)
+		if _, err := conn.Write(buf[:]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.ReadFull(conn, buf[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return conn
+}
+
+// expectProtocolClose asserts the gateway answers StatusProtocol and then
+// closes the connection.
+func expectProtocolClose(t *testing.T, conn net.Conn) {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	var buf [proto.HeaderSize]byte
+	if _, err := io.ReadFull(conn, buf[:]); err != nil {
+		t.Fatalf("no error frame before close: %v", err)
+	}
+	rh, err := proto.ParseRespHeader(buf[:])
+	if err != nil {
+		t.Fatalf("unparseable error frame: %v", err)
+	}
+	if rh.Status != proto.StatusProtocol {
+		t.Fatalf("got status %v, want StatusProtocol", rh.Status)
+	}
+	if _, err := conn.Read(buf[:1]); err != io.EOF {
+		t.Fatalf("connection still open after protocol error (read: %v)", err)
+	}
+}
+
+// expectClose asserts the gateway simply drops the connection (cases
+// where the stream died before a response was even possible).
+func expectClose(t *testing.T, conn net.Conn) {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 256)
+	for {
+		if _, err := conn.Read(buf); err != nil {
+			if err == io.EOF {
+				return
+			}
+			t.Fatalf("want EOF, got %v", err)
+		}
+	}
+}
+
+// checkHealthy proves the mesh still serves a well-behaved client.
+func checkHealthy(t *testing.T, srv *gateway.Server) {
+	t.Helper()
+	c, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("healthy dial after malformed traffic: %v", err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatalf("healthy ping after malformed traffic: %v", err)
+	}
+}
+
+func TestMalformedInput(t *testing.T) {
+	srv := startGateway(t, 2)
+
+	t.Run("truncated header", func(t *testing.T) {
+		conn := rawConn(t, srv.Addr(), true)
+		defer conn.Close()
+		conn.Write([]byte{0x4C, 0x47, 1, proto.OpPing, 0, 0}) // 6 of 28 bytes
+		conn.(*net.TCPConn).CloseWrite()
+		expectClose(t, conn)
+		checkHealthy(t, srv)
+	})
+
+	t.Run("bad magic", func(t *testing.T) {
+		conn := rawConn(t, srv.Addr(), true)
+		defer conn.Close()
+		var buf [proto.HeaderSize]byte
+		h := proto.ReqHeader{Op: proto.OpPing, Seq: 2}
+		proto.PutReqHeader(buf[:], &h)
+		buf[0], buf[1] = 0xBA, 0xAD
+		conn.Write(buf[:])
+		expectProtocolClose(t, conn)
+		checkHealthy(t, srv)
+	})
+
+	t.Run("unknown opcode", func(t *testing.T) {
+		conn := rawConn(t, srv.Addr(), true)
+		defer conn.Close()
+		var buf [proto.HeaderSize]byte
+		h := proto.ReqHeader{Op: 0x7F, Seq: 2}
+		proto.PutReqHeader(buf[:], &h)
+		conn.Write(buf[:])
+		expectProtocolClose(t, conn)
+		checkHealthy(t, srv)
+	})
+
+	t.Run("oversized length", func(t *testing.T) {
+		conn := rawConn(t, srv.Addr(), true)
+		defer conn.Close()
+		var buf [proto.HeaderSize]byte
+		h := proto.ReqHeader{Op: proto.OpPut, Seq: 2, Handle: 1, Count: 1}
+		proto.PutReqHeader(buf[:], &h)
+		binary.BigEndian.PutUint32(buf[24:28], proto.MaxPayload+1)
+		conn.Write(buf[:])
+		expectProtocolClose(t, conn)
+		checkHealthy(t, srv)
+	})
+
+	t.Run("payload shorter than declared", func(t *testing.T) {
+		conn := rawConn(t, srv.Addr(), true)
+		defer conn.Close()
+		var buf [proto.HeaderSize + 16]byte
+		h := proto.ReqHeader{Op: proto.OpPut, Seq: 2, Handle: 1, Count: 8, Plen: 64}
+		proto.PutReqHeader(buf[:], &h)
+		conn.Write(buf[:]) // 16 of the declared 64 payload bytes
+		conn.(*net.TCPConn).CloseWrite()
+		expectClose(t, conn)
+		checkHealthy(t, srv)
+	})
+
+	t.Run("request before hello", func(t *testing.T) {
+		conn := rawConn(t, srv.Addr(), false)
+		defer conn.Close()
+		var buf [proto.HeaderSize]byte
+		h := proto.ReqHeader{Op: proto.OpPing, Seq: 1}
+		proto.PutReqHeader(buf[:], &h)
+		conn.Write(buf[:])
+		expectProtocolClose(t, conn)
+		checkHealthy(t, srv)
+	})
+
+	t.Run("bad shape keeps session alive", func(t *testing.T) {
+		conn := rawConn(t, srv.Addr(), true)
+		defer conn.Close()
+		// Put with Plen != Count*8 — well-framed, wrong shape.
+		frame := make([]byte, proto.HeaderSize+8)
+		h := proto.ReqHeader{Op: proto.OpPut, Seq: 2, Handle: 1, Count: 4, Plen: 8}
+		proto.PutReqHeader(frame, &h)
+		conn.Write(frame)
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		var rbuf [proto.HeaderSize]byte
+		if _, err := io.ReadFull(conn, rbuf[:]); err != nil {
+			t.Fatal(err)
+		}
+		rh, err := proto.ParseRespHeader(rbuf[:])
+		if err != nil || rh.Status != proto.StatusBadRequest || rh.Seq != 2 {
+			t.Fatalf("bad shape: %+v %v, want StatusBadRequest seq 2", rh, err)
+		}
+		// Session still works.
+		h = proto.ReqHeader{Op: proto.OpPing, Seq: 3}
+		proto.PutReqHeader(rbuf[:], &h)
+		conn.Write(rbuf[:])
+		if _, err := io.ReadFull(conn, rbuf[:]); err != nil {
+			t.Fatal(err)
+		}
+		if rh, err = proto.ParseRespHeader(rbuf[:]); err != nil || rh.Status != proto.StatusOK {
+			t.Fatalf("ping after bad shape: %+v %v", rh, err)
+		}
+	})
+
+	// After all of it the frame pool accounting must be balanced once
+	// sessions quiesce.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Sessions() != 0 || srv.InflightFrames() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("did not quiesce: sessions=%d frames=%d", srv.Sessions(), srv.InflightFrames())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

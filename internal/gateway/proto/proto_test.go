@@ -1,0 +1,139 @@
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func TestReqHeaderRoundTrip(t *testing.T) {
+	in := ReqHeader{
+		Op: OpPut, Seq: 0xDEADBEEF, Handle: 7,
+		Row: 123, Col: 456, Count: 8, Plen: 64,
+	}
+	var buf [HeaderSize]byte
+	PutReqHeader(buf[:], &in)
+	out, err := ParseReqHeader(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestRespHeaderRoundTrip(t *testing.T) {
+	in := RespHeader{
+		Op: OpReadInc, Seq: 42, Status: StatusBadPatch,
+		Value: 1 << 60, Credits: 32, Plen: 0,
+	}
+	var buf [HeaderSize]byte
+	PutRespHeader(buf[:], &in)
+	out, err := ParseRespHeader(buf[:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Errorf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestParseReqHeaderFraming(t *testing.T) {
+	good := ReqHeader{Op: OpPing, Seq: 1}
+	var buf [HeaderSize]byte
+	PutReqHeader(buf[:], &good)
+
+	t.Run("short", func(t *testing.T) {
+		_, err := ParseReqHeader(buf[:HeaderSize-1])
+		if !errors.Is(err, ErrShortHeader) {
+			t.Errorf("got %v, want ErrShortHeader", err)
+		}
+	})
+	t.Run("magic", func(t *testing.T) {
+		b := buf
+		b[0] = 0xFF
+		_, err := ParseReqHeader(b[:])
+		if !errors.Is(err, ErrBadMagic) {
+			t.Errorf("got %v, want ErrBadMagic", err)
+		}
+	})
+	t.Run("version", func(t *testing.T) {
+		b := buf
+		b[2] = Version + 1
+		_, err := ParseReqHeader(b[:])
+		if !errors.Is(err, ErrBadVersion) {
+			t.Errorf("got %v, want ErrBadVersion", err)
+		}
+	})
+	t.Run("oversized", func(t *testing.T) {
+		b := buf
+		binary.BigEndian.PutUint32(b[24:28], MaxPayload+1)
+		_, err := ParseReqHeader(b[:])
+		if !errors.Is(err, ErrOversized) {
+			t.Errorf("got %v, want ErrOversized", err)
+		}
+	})
+}
+
+func TestPlanTable(t *testing.T) {
+	known := []uint8{OpHello, OpPing, OpCreate, OpOpen, OpPut, OpGet, OpAcc, OpReadInc, OpStats}
+	for _, op := range known {
+		if Plans[op].Name == "" {
+			t.Errorf("opcode %#02x has no plan", op)
+		}
+		if Plans[op].Check == nil {
+			t.Errorf("opcode %#02x (%s) has no shape check", op, Plans[op].Name)
+		}
+	}
+	if Plans[0].Name != "" || Plans[OpStats+1].Name != "" {
+		t.Error("unknown opcodes must have empty plans")
+	}
+}
+
+func TestPlanShapeChecks(t *testing.T) {
+	cases := []struct {
+		name string
+		h    ReqHeader
+		want bool
+	}{
+		{"hello ok", ReqHeader{Op: OpHello}, true},
+		{"hello with payload", ReqHeader{Op: OpHello, Plen: 1}, false},
+		{"ping ok", ReqHeader{Op: OpPing}, true},
+		{"create ok", ReqHeader{Op: OpCreate, Plen: 1 + 4 + 4 + 5}, true},
+		{"create empty name", ReqHeader{Op: OpCreate, Plen: 1 + 4 + 4}, false},
+		{"create name too long", ReqHeader{Op: OpCreate, Plen: 1 + 4 + 4 + MaxName + 1}, false},
+		{"open ok", ReqHeader{Op: OpOpen, Plen: 3}, true},
+		{"open empty", ReqHeader{Op: OpOpen, Plen: 0}, false},
+		{"put ok", ReqHeader{Op: OpPut, Count: 4, Plen: 32}, true},
+		{"put plen mismatch", ReqHeader{Op: OpPut, Count: 4, Plen: 31}, false},
+		{"put zero count", ReqHeader{Op: OpPut, Count: 0, Plen: 0}, false},
+		{"put max", ReqHeader{Op: OpPut, Count: MaxPayload / 8, Plen: (MaxPayload / 8) * 8}, true},
+		{"put too big", ReqHeader{Op: OpPut, Count: MaxPayload/8 + 1, Plen: (MaxPayload/8 + 1) * 8}, false},
+		{"get ok", ReqHeader{Op: OpGet, Count: 4}, true},
+		{"get with payload", ReqHeader{Op: OpGet, Count: 4, Plen: 8}, false},
+		{"get too big", ReqHeader{Op: OpGet, Count: MaxPayload/8 + 1}, false},
+		{"acc ok", ReqHeader{Op: OpAcc, Count: 4, Plen: 8 + 32}, true},
+		{"acc missing alpha", ReqHeader{Op: OpAcc, Count: 4, Plen: 32}, false},
+		{"readinc ok", ReqHeader{Op: OpReadInc, Plen: 8}, true},
+		{"readinc bad plen", ReqHeader{Op: OpReadInc, Plen: 4}, false},
+		{"stats ok", ReqHeader{Op: OpStats}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Plans[tc.h.Op].Check(&tc.h); got != tc.want {
+				t.Errorf("Check(%+v) = %v, want %v", tc.h, got, tc.want)
+			}
+		})
+	}
+}
+
+// Frame sizing invariant the session layer relies on: any valid frame
+// (header + payload) fits the transport's 64 KiB pooled buffer class.
+func TestFrameFitsPoolClass(t *testing.T) {
+	if HeaderSize+MaxPayload != MaxFrame {
+		t.Errorf("HeaderSize+MaxPayload = %d, want %d", HeaderSize+MaxPayload, MaxFrame)
+	}
+	if MaxFrame > 64*1024 {
+		t.Errorf("MaxFrame %d exceeds the 64 KiB pool class", MaxFrame)
+	}
+}

@@ -1,0 +1,70 @@
+package tcpnet
+
+// Internal tests for the dial-retry policy: backoff must cap, attempts
+// must bound the total wait, and exhaustion must surface a wrapped error
+// instead of retrying forever.
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// deadAddr returns a loopback address with nothing listening on it.
+func deadAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestDialRetryGivesUp(t *testing.T) {
+	addr := deadAddr(t)
+	const attempts = 5
+	start := time.Now()
+	c, err := dialRetryWith(addr, attempts, time.Millisecond, 4*time.Millisecond)
+	elapsed := time.Since(start)
+	if err == nil {
+		c.Close()
+		t.Fatal("dialRetryWith succeeded against a dead address")
+	}
+	if !strings.Contains(err.Error(), "gave up after 5 attempts") {
+		t.Errorf("error %q does not name the attempt limit", err)
+	}
+	var opErr *net.OpError
+	if !errors.As(err, &opErr) {
+		t.Errorf("error %q does not wrap the underlying net error", err)
+	}
+	// Backoff schedule 1+2+4+4 ms plus four dial round trips: well under a
+	// second even on a loaded host. The old fixed-sleep loop took 1 s+.
+	if elapsed > 5*time.Second {
+		t.Errorf("dialRetryWith took %v; backoff or attempt limit not applied", elapsed)
+	}
+}
+
+func TestDialRetrySucceedsAfterListenerAppears(t *testing.T) {
+	addr := deadAddr(t)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		ln, err := net.Listen("tcp", addr)
+		if err != nil {
+			return // port raced away; the dial side will report failure
+		}
+		c, err := ln.Accept()
+		if err == nil {
+			c.Close()
+		}
+		ln.Close()
+	}()
+	c, err := dialRetryWith(addr, dialRetryAttempts, dialRetryBase, dialRetryCap)
+	if err != nil {
+		t.Fatalf("dialRetryWith did not recover once the listener appeared: %v", err)
+	}
+	c.Close()
+}

@@ -231,19 +231,44 @@ func Dial(rt *exec.RealRuntime, self, n int, addrs []string, maxPacket int) (*En
 	return e, nil
 }
 
+// Dial-retry policy during mesh bring-up. Peers start their listeners
+// concurrently, so early refusals are expected; backoff doubles from
+// dialRetryBase to dialRetryCap (exponential, capped) so a slow peer is
+// waited for without hammering the port, and dialRetryAttempts bounds the
+// total wait (~2.3 s with the defaults) so a peer that never comes up
+// turns into an error instead of an infinite retry loop.
+const (
+	dialRetryAttempts = 24
+	dialRetryBase     = 1 * time.Millisecond
+	dialRetryCap      = 200 * time.Millisecond
+)
+
 func dialRetry(addr string) (net.Conn, error) {
+	return dialRetryWith(addr, dialRetryAttempts, dialRetryBase, dialRetryCap)
+}
+
+// dialRetryWith is dialRetry with the policy knobs exposed for tests.
+func dialRetryWith(addr string, attempts int, base, cap time.Duration) (net.Conn, error) {
 	var lastErr error
-	for i := 0; i < 200; i++ {
+	backoff := base
+	for i := 0; i < attempts; i++ {
 		c, err := net.Dial("tcp", addr)
 		if err == nil {
 			return c, nil
 		}
 		lastErr = err
+		if i == attempts-1 {
+			break // don't sleep after the final attempt
+		}
 		// Dial-retry backoff during mesh bring-up: runs on a raw goroutine
 		// before any activity exists, and the transport is real-TCP only.
-		time.Sleep(5 * time.Millisecond) //lapivet:ignore simdeterminism dial backoff predates the runtime; TCP transport never runs simulated
+		time.Sleep(backoff) //lapivet:ignore simdeterminism dial backoff predates the runtime; TCP transport never runs simulated
+		backoff *= 2
+		if backoff > cap {
+			backoff = cap
+		}
 	}
-	return nil, lastErr
+	return nil, fmt.Errorf("tcpnet: dial %s: gave up after %d attempts: %w", addr, attempts, lastErr)
 }
 
 func newConn(c net.Conn) *conn {
