@@ -55,6 +55,16 @@ determinism:
 		echo "determinism: lapivet -json produced no buflifetime diagnostics on its golden package"; exit 1; \
 	fi; \
 	echo "determinism: lapivet -json byte-identical across runs"
+	@/tmp/golapi-lapivet -json ./internal/analysis/creditflow/testdata/src/cf > /tmp/golapi-lapivet-cf-1.json 2>/dev/null; \
+	/tmp/golapi-lapivet -json ./internal/analysis/creditflow/testdata/src/cf > /tmp/golapi-lapivet-cf-2.json 2>/dev/null; \
+	if ! cmp -s /tmp/golapi-lapivet-cf-1.json /tmp/golapi-lapivet-cf-2.json; then \
+		echo "determinism: lapivet -json differs between runs on the creditflow golden package:"; \
+		diff /tmp/golapi-lapivet-cf-1.json /tmp/golapi-lapivet-cf-2.json; exit 1; \
+	fi; \
+	if ! grep -q '"pass": "creditflow"' /tmp/golapi-lapivet-cf-1.json; then \
+		echo "determinism: lapivet -json produced no creditflow diagnostics on its golden package"; exit 1; \
+	fi; \
+	echo "determinism: lapivet -json byte-identical across runs (creditflow golden)"
 
 # lapivet enforces the LAPI usage invariants the type system cannot see
 # (DESIGN.md "Usage invariants"): non-blocking header handlers, origin

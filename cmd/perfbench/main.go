@@ -51,6 +51,10 @@ func main() {
 		r.TCPMsgsPerSec, r.TCPAllocsPerMsg)
 	fmt.Printf("sim:     %.1f allocs/msg (4-byte PutSync, simulated switch)\n",
 		r.SimAllocsPerMsg)
+	if !*quick {
+		fmt.Printf("lint:    %.1f ms wall-clock (full lapivet suite over ./...)\n",
+			r.LintWallMs)
+	}
 
 	if *out != "" {
 		data, err := json.MarshalIndent(r, "", "  ")

@@ -52,6 +52,15 @@ type Pass struct {
 	// included.
 	ModulePackages func() []*Package
 
+	// Shared returns the value cached under key for this module load,
+	// calling build to produce it on first use. Interprocedural layers
+	// (the call graph, the ownership summaries) are whole-module results
+	// that every pass over every package would otherwise recompute; keying
+	// the memo on the Loader scopes it correctly — distinct loads
+	// (analysistest fixtures, the real module) never mix, and the cache
+	// dies with the load instead of accreting process-wide.
+	Shared func(key string, build func() any) any
+
 	diags *[]Diagnostic
 }
 
@@ -136,7 +145,8 @@ func RunPackage(l *Loader, pkg *Package, analyzers []*Analyzer) ([]Diagnostic, [
 			ModulePackages: func() []*Package {
 				return l.Loaded()
 			},
-			diags: &diags,
+			Shared: l.Shared,
+			diags:  &diags,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)

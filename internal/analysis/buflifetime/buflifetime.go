@@ -1,35 +1,54 @@
 // Package buflifetime statically enforces the fabric.Contract buffer
 // ownership protocol for pooled transports: a buffer obtained from
 // Transport.Alloc (or tcpnet's internal pool) must, on every path, be
-// handed back — to the pool via Release, or to the transport via Send —
-// and must not be touched or released again afterwards. On a pooled
-// transport a leaked buffer is a permanent hole in the pool and a
-// use-after-Release is a data race with whatever frame the pool backs
-// next; neither is detectable at runtime.
+// handed back — to the pool via Release, or to another owner via Send, a
+// channel send, or a consuming callee — and must not be touched or
+// released again afterwards. On a pooled transport a leaked buffer is a
+// permanent hole in the pool and a use-after-Release is a data race with
+// whatever frame the pool backs next; neither is detectable at runtime.
 //
 // The pass is flow-sensitive (internal/analysis/cfg + dataflow): the
 // abstract state maps each locally-acquired buffer to a may-set of
-// {owned, released} facts, merged by union at joins. Reports:
+// {owned, released} facts, merged by union at joins. Since v3 it is also
+// interprocedural and channel-aware, backed by internal/analysis/summary:
+//
+//   - a call to a module function consults the callee's per-parameter
+//     ownership summary — a Borrows callee (header filler, checksummer)
+//     leaves the obligation in place, so an early return after the call
+//     still reports the leak; a Consumes callee (a release helper, the
+//     gateway's respond) discharges it, and touching the buffer afterwards
+//     is reported like a use-after-Release;
+//   - a send on a transfer channel (one that carries owned frames
+//     somewhere in the module, e.g. the gateway's session.out) discharges
+//     the obligation and arms use-after-send; a receive from one — plain,
+//     two-valued, select comm, or `for b := range ch` — is a fresh
+//     acquire, so the receiving loop (the gateway writer) is checked for
+//     leak-on-return like any allocator.
+//
+// Reports:
 //
 //   - leak: a buffer still owned on some path into the function exit
-//     (reported at the Alloc), e.g. an early error return that skips
+//     (reported at the acquire), e.g. an early error return that skips
 //     Release;
 //   - reallocation while owned: the same variable re-acquired (typically
 //     on a loop back edge) while a previous allocation is unreleased;
-//   - double release: Release/put on a buffer already released on some
+//   - double release: Release/put on a buffer already discharged on some
 //     path;
-//   - use after release: any read, write, or call argument use of a
-//     released buffer.
+//   - use after discharge: any read, write, send, or call argument use of
+//     a buffer already released, sent, or consumed by a callee.
 //
 // Ownership is discharged without complaint when the buffer escapes the
-// pass's view: returned, sent on a channel, stored into a non-local,
-// captured by a function literal or goroutine, or passed to a call the
-// pass does not model. Calls into io and encoding/binary, the fabric
-// framing helpers, and the builtins (copy, len, cap, clear, spread
-// append) only borrow the buffer and leave the obligation in place — that
-// is what catches `if _, err := io.ReadFull(r, b); err != nil { return }`
-// leaking b. Transports whose Contract() does not set PooledSend
+// pass's view: returned, stored into a non-local, captured by a function
+// literal or goroutine, or passed to a call with no informative summary.
+// Calls into io and encoding/binary, the fabric framing helpers, and the
+// builtins (copy, len, cap, clear, spread append) only borrow. Reslicing
+// into a new name (data := frame[k:]) is an alias borrow: the base keeps
+// the obligation. Transports whose Contract() does not set PooledSend
 // (switchnet) are exempt: their Alloc is plain make and Release a no-op.
+//
+// The v2 intraprocedural/single-goroutine mode survives as the
+// Intraprocedural analyzer, used by tests to prove which findings need
+// the summary and transfer layers.
 package buflifetime
 
 import (
@@ -41,24 +60,33 @@ import (
 	"golapi/internal/analysis"
 	"golapi/internal/analysis/cfg"
 	"golapi/internal/analysis/dataflow"
+	"golapi/internal/analysis/summary"
 )
 
-// Analyzer is the buflifetime pass.
+// Analyzer is the buflifetime pass (v3: interprocedural + channel-aware).
 var Analyzer = &analysis.Analyzer{
 	Name: "buflifetime",
-	Doc:  "track pooled transport buffers: leak on some path, double-Release, use-after-Release",
-	Run:  run,
+	Doc:  "track pooled transport buffers across helpers and channel handoffs: leak on some path, double-Release, use-after-discharge",
+	Run:  func(pass *analysis.Pass) error { return run(pass, true) },
 }
 
-func run(pass *analysis.Pass) error {
-	iface := pass.NamedType(analysis.FabricPath, "Transport")
-	if iface == nil {
+// Intraprocedural is the v2 behaviour: no callee summaries, no channel
+// transfer modeling. Not registered in cmd/lapivet; tests use it to assert
+// which true positives require the interprocedural machinery.
+var Intraprocedural = &analysis.Analyzer{
+	Name: "buflifetime-intra",
+	Doc:  "buflifetime without ownership summaries or channel transfers (comparison baseline)",
+	Run:  func(pass *analysis.Pass) error { return run(pass, false) },
+}
+
+func run(pass *analysis.Pass, interproc bool) error {
+	ops := summary.NewBufferOps(pass)
+	if ops == nil {
 		return nil
 	}
-	r := &runner{
-		pass:   pass,
-		iface:  iface.Underlying().(*types.Interface),
-		pooled: map[*types.TypeName]bool{},
+	r := &runner{pass: pass, ops: ops}
+	if interproc {
+		r.comp = summary.New(pass, ops)
 	}
 	for _, f := range pass.Pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
@@ -77,15 +105,14 @@ func run(pass *analysis.Pass) error {
 }
 
 type runner struct {
-	pass   *analysis.Pass
-	iface  *types.Interface
-	pooled map[*types.TypeName]bool // Contract() sets PooledSend, by receiver type
-	idx    map[*types.Func]analysis.FuncBody
+	pass *analysis.Pass
+	ops  *summary.BufferOps
+	comp *summary.Computer // nil in intraprocedural mode
 }
 
 func (r *runner) check(body *ast.BlockStmt) {
 	g := cfg.New(body)
-	c := &checker{r: r}
+	c := &checker{r: r, g: g}
 	res := dataflow.Solve(g, c)
 	// Capture the exit state before reporting is on: Out replays the exit
 	// block (deferred calls), which Walk will also do.
@@ -97,11 +124,20 @@ func (r *runner) check(body *ast.BlockStmt) {
 	}
 }
 
+// Verbs for how a buffer's obligation was discharged; "Release" keeps the
+// v2 message wording, the others read as "<verb> ... discharged it".
+const (
+	vRelease = "Release"
+	vSend    = "Send"
+	vChan    = "the channel send"
+)
+
 // fact is one possible status of a tracked buffer: owned (pos = the
-// acquire site) or released (pos = the release site).
+// acquire site) or released (pos = the discharge site, verb = how).
 type fact struct {
 	obj      types.Object
 	released bool
+	verb     string
 	pos      token.Pos
 }
 
@@ -111,6 +147,7 @@ type state map[fact]bool
 
 type checker struct {
 	r      *runner
+	g      *cfg.Graph
 	report bool
 }
 
@@ -153,8 +190,7 @@ func (c *checker) Transfer(n ast.Node, s state) state {
 			c.escapeExpr(res, s)
 		}
 	case *ast.SendStmt:
-		c.use(n.Chan, s)
-		c.escapeExpr(n.Value, s)
+		c.send(n, s)
 	case *ast.DeferStmt, *ast.GoStmt:
 		// Registration evaluates arguments at an unknown distance from the
 		// call itself; deferred calls reappear in the exit block. Treat any
@@ -183,9 +219,68 @@ func (c *checker) Transfer(n ast.Node, s state) state {
 	return s
 }
 
-// assign handles acquire bindings, rebindings, and element writes.
+// send handles `ch <- b`. An owned (or already-discharged) buffer sent on
+// any channel transfers its obligation to the receiver: discharge it and
+// arm use-after-send. Intraprocedural mode keeps the v2 escape semantics.
+func (c *checker) send(n *ast.SendStmt, s state) {
+	info := c.r.pass.Pkg.Info
+	c.use(n.Chan, s)
+	if c.r.comp != nil {
+		if obj := objectIfIdent(info, n.Value); obj != nil && hasFacts(s, obj) {
+			if rel, ok := releasedFact(s, obj); ok {
+				c.reportf(n.Pos(), "pooled transport buffer %s sent after %s", obj.Name(), dischargeClause(rel, c.line(rel.pos)))
+			}
+			dropFacts(s, obj)
+			s[fact{obj: obj, released: true, verb: vChan, pos: n.Pos()}] = true
+			return
+		}
+	}
+	c.escapeExpr(n.Value, s)
+}
+
+// assign handles acquire bindings, receives, rebindings, alias borrows,
+// and element writes.
 func (c *checker) assign(a *ast.AssignStmt, s state) {
 	info := c.r.pass.Pkg.Info
+
+	// Synthesized range binding: `for b := range ch` over a transfer
+	// channel acquires a fresh frame each iteration.
+	if len(a.Rhs) == 0 {
+		if x, ok := c.g.RangeBind[a]; ok && c.r.comp != nil && len(a.Lhs) > 0 {
+			if ch := analysis.ObjectOf(info, x); ch != nil && c.r.comp.IsTransferChan(ch) {
+				if obj := objectIfIdent(info, a.Lhs[0]); obj != nil {
+					dropFacts(s, obj)
+					s[fact{obj: obj, pos: a.Pos()}] = true
+					return
+				}
+			}
+		}
+		for _, lhs := range a.Lhs {
+			if obj := objectIfIdent(info, lhs); obj != nil {
+				dropFacts(s, obj)
+			}
+		}
+		return
+	}
+
+	// Two-valued receive: v, ok := <-ch.
+	if len(a.Lhs) == 2 && len(a.Rhs) == 1 {
+		if ue, ok := ast.Unparen(a.Rhs[0]).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+			if obj := objectIfIdent(info, a.Lhs[0]); obj != nil {
+				dropFacts(s, obj)
+				if c.r.comp != nil {
+					if ch := analysis.ObjectOf(info, ue.X); ch != nil && c.r.comp.IsTransferChan(ch) {
+						s[fact{obj: obj, pos: a.Pos()}] = true
+					}
+				}
+			}
+			if obj := objectIfIdent(info, a.Lhs[1]); obj != nil {
+				dropFacts(s, obj)
+			}
+			return
+		}
+	}
+
 	paired := len(a.Lhs) == len(a.Rhs)
 	for i, lhs := range a.Lhs {
 		var rhs ast.Expr
@@ -210,17 +305,38 @@ func (c *checker) assign(a *ast.AssignStmt, s state) {
 					s[fact{obj: obj, pos: call.Pos()}] = true
 					continue
 				}
+				// Plain receive into one name: an acquire when the channel
+				// carries owned frames.
+				if ue, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok && ue.Op == token.ARROW && c.r.comp != nil {
+					if ch := analysis.ObjectOf(info, ue.X); ch != nil && c.r.comp.IsTransferChan(ch) {
+						if obj != nil {
+							dropFacts(s, obj)
+							s[fact{obj: obj, pos: a.Pos()}] = true
+							continue
+						}
+					}
+				}
 				// Rebinding through the same buffer (b = b[:n], b = append(b,
 				// x), b = fabric.PutUint32(b, v)) keeps the obligation on the
 				// name: scan the rhs in borrow mode, which leaves obj's facts
 				// in place while still escaping anything else that flows out
-				// (append elements, unmodelled call arguments). Rebinding to
-				// an unrelated value retires tracking, with the old value
-				// either escaping through the rhs or simply dropped.
+				// (append elements, unmodelled call arguments).
 				if obj != nil && mentions(info, rhs, obj) {
 					c.use(rhs, s)
 					continue
 				}
+				// Alias borrow: data := frame[k:] — the new name is a window
+				// into the allocation; the base keeps the obligation (and a
+				// released base is still reported by the use walk).
+				if base := sliceBaseObj(info, rhs); base != nil && hasFacts(s, base) {
+					c.use(rhs, s)
+					if obj != nil {
+						dropFacts(s, obj)
+					}
+					continue
+				}
+				// Rebinding to an unrelated value retires tracking, with the
+				// old value either escaping through the rhs or simply dropped.
 				c.escapeExpr(rhs, s)
 			}
 			if obj != nil {
@@ -228,7 +344,7 @@ func (c *checker) assign(a *ast.AssignStmt, s state) {
 			}
 		case *ast.IndexExpr, *ast.SliceExpr:
 			if obj, rel := c.releasedBase(l.(ast.Expr), s); obj != nil {
-				c.reportf(a.Pos(), "pooled transport buffer %s written after Release (line %d): the memory may already back another frame", obj.Name(), c.line(rel))
+				c.reportf(a.Pos(), "pooled transport buffer %s written after %s: the memory may already back another frame", obj.Name(), dischargeClause(rel, c.line(rel.pos)))
 			}
 			if rhs != nil {
 				c.escapeExpr(rhs, s)
@@ -248,8 +364,8 @@ func (c *checker) assign(a *ast.AssignStmt, s state) {
 }
 
 // use walks an expression: calls are classified (release, send, borrow,
-// escape), reads of released buffers are reported, and tracked buffers
-// that flow somewhere the pass cannot see stop being tracked.
+// summary, escape), reads of discharged buffers are reported, and tracked
+// buffers that flow somewhere the pass cannot see stop being tracked.
 func (c *checker) use(e ast.Expr, s state) {
 	if e == nil {
 		return
@@ -282,7 +398,7 @@ func (c *checker) use(e ast.Expr, s state) {
 		case *ast.Ident:
 			if obj := info.ObjectOf(n); obj != nil {
 				if rel, ok := releasedFact(s, obj); ok {
-					c.reportf(n.Pos(), "pooled transport buffer %s used after Release (line %d): the memory may already back another frame", obj.Name(), c.line(rel.pos))
+					c.reportf(n.Pos(), "pooled transport buffer %s used after %s: the memory may already back another frame", obj.Name(), dischargeClause(rel, c.line(rel.pos)))
 				}
 			}
 		}
@@ -315,47 +431,93 @@ func (c *checker) call(call *ast.CallExpr, s state, skip map[ast.Node]bool) {
 		return // conversion: borrows the operand
 	}
 
-	fn := analysis.Callee(info, call)
-	kind, argIdx := c.r.classify(fn, call)
+	kind, argIdx := c.r.ops.Classify(info, call)
 	switch kind {
-	case opAcquire:
+	case summary.OpAcquire:
 		// Result discarded or consumed by an unmodelled context: nothing to
 		// track (the binding form is handled in assign).
-	case opRelease:
+	case summary.OpRelease:
 		if len(call.Args) > argIdx {
 			arg := call.Args[argIdx]
 			skip[arg] = true
 			if obj := objectIfIdent(info, arg); obj != nil {
 				if rel, ok := releasedFact(s, obj); ok {
-					c.reportf(call.Pos(), "pooled transport buffer %s released twice (previous Release at line %d)", obj.Name(), c.line(rel.pos))
+					if rel.verb == vRelease {
+						c.reportf(call.Pos(), "pooled transport buffer %s released twice (previous Release at line %d)", obj.Name(), c.line(rel.pos))
+					} else {
+						c.reportf(call.Pos(), "pooled transport buffer %s released after %s", obj.Name(), dischargeClause(rel, c.line(rel.pos)))
+					}
 				}
 				dropFacts(s, obj)
-				s[fact{obj: obj, released: true, pos: call.Pos()}] = true
+				s[fact{obj: obj, released: true, verb: vRelease, pos: call.Pos()}] = true
 			}
 		}
-	case opSend:
+	case summary.OpTransfer:
 		if len(call.Args) > argIdx {
 			arg := call.Args[argIdx]
 			skip[arg] = true
 			if obj := objectIfIdent(info, arg); obj != nil {
 				if rel, ok := releasedFact(s, obj); ok {
-					c.reportf(call.Pos(), "pooled transport buffer %s sent after Release (line %d)", obj.Name(), c.line(rel.pos))
+					c.reportf(call.Pos(), "pooled transport buffer %s sent after %s", obj.Name(), dischargeClause(rel, c.line(rel.pos)))
 				}
-				dropFacts(s, obj) // ownership passes to the transport
+				dropFacts(s, obj)
+				if c.r.comp != nil {
+					// Ownership passed to the transport; arm use-after-send.
+					s[fact{obj: obj, released: true, verb: vSend, pos: call.Pos()}] = true
+				}
 			}
 		}
-	case opBorrow:
+	case summary.OpBorrow:
 		// Arguments are read or filled but the obligation stays put. The
-		// generic Ident case still reports use-after-Release.
-	case opOther:
-		for _, arg := range call.Args {
+		// generic Ident case still reports use-after-discharge.
+	case summary.OpNone:
+		c.summaryCall(call, s, skip)
+	}
+}
+
+// summaryCall applies callee ownership summaries to a call the base
+// protocol does not classify. Without summaries (intraprocedural mode, or
+// no static callee) every tracked argument escapes, as in v2.
+func (c *checker) summaryCall(call *ast.CallExpr, s state, skip map[ast.Node]bool) {
+	info := c.r.pass.Pkg.Info
+	var callee *types.Func
+	var sig *types.Signature
+	if c.r.comp != nil {
+		callee = analysis.Callee(info, call)
+		if callee != nil {
+			sig, _ = callee.Type().(*types.Signature)
+		}
+	}
+	for i, arg := range call.Args {
+		obj := objectIfIdent(info, arg)
+		if obj == nil || !hasFacts(s, obj) {
+			c.escapeExpr(arg, s)
+			skip[arg] = true
+			continue
+		}
+		eff := summary.Escapes
+		if callee != nil && sig != nil && !(sig.Variadic() && i >= sig.Params().Len()-1) {
+			eff = c.r.comp.Effect(callee, i)
+		}
+		switch eff {
+		case summary.Borrows:
+			// The callee reads or fills the buffer; obligation stays with
+			// us. The Ident walk still reports a discharged argument.
+		case summary.Consumes:
+			if rel, ok := releasedFact(s, obj); ok {
+				c.reportf(call.Pos(), "pooled transport buffer %s passed to %s, which releases it, after %s", obj.Name(), callee.Name(), dischargeClause(rel, c.line(rel.pos)))
+			}
+			dropFacts(s, obj)
+			s[fact{obj: obj, released: true, verb: callee.Name() + "()", pos: call.Pos()}] = true
+			skip[arg] = true
+		default:
 			c.escapeExpr(arg, s)
 			skip[arg] = true
 		}
 	}
 }
 
-// escapeExpr handles a value flowing out of the pass's view: a released
+// escapeExpr handles a value flowing out of the pass's view: a discharged
 // buffer is reported, an owned one silently stops being tracked.
 func (c *checker) escapeExpr(e ast.Expr, s state) {
 	if e == nil {
@@ -364,7 +526,7 @@ func (c *checker) escapeExpr(e ast.Expr, s state) {
 	info := c.r.pass.Pkg.Info
 	if obj := objectIfIdent(info, e); obj != nil {
 		if rel, ok := releasedFact(s, obj); ok {
-			c.reportf(e.Pos(), "pooled transport buffer %s used after Release (line %d): the memory may already back another frame", obj.Name(), c.line(rel.pos))
+			c.reportf(e.Pos(), "pooled transport buffer %s used after %s: the memory may already back another frame", obj.Name(), dischargeClause(rel, c.line(rel.pos)))
 		}
 		dropFacts(s, obj)
 		return
@@ -393,8 +555,8 @@ func (c *checker) escapeIdents(n ast.Node, s state) {
 }
 
 // releasedBase resolves the base identifier of an index/slice expression
-// and returns it with the release site when it is released on some path.
-func (c *checker) releasedBase(e ast.Expr, s state) (types.Object, token.Pos) {
+// and returns it with the discharge fact when it is released on some path.
+func (c *checker) releasedBase(e ast.Expr, s state) (types.Object, fact) {
 	for {
 		switch x := ast.Unparen(e).(type) {
 		case *ast.IndexExpr:
@@ -404,12 +566,12 @@ func (c *checker) releasedBase(e ast.Expr, s state) (types.Object, token.Pos) {
 		case *ast.Ident:
 			if obj := c.r.pass.Pkg.Info.ObjectOf(x); obj != nil {
 				if rel, ok := releasedFact(s, obj); ok {
-					return obj, rel.pos
+					return obj, rel
 				}
 			}
-			return nil, token.NoPos
+			return nil, fact{}
 		default:
-			return nil, token.NoPos
+			return nil, fact{}
 		}
 	}
 }
@@ -440,118 +602,35 @@ func (c *checker) line(pos token.Pos) int {
 	return c.r.pass.Fset.Position(pos).Line
 }
 
-// --- call classification -------------------------------------------------
-
-type opKind int
-
-const (
-	opOther opKind = iota
-	opAcquire
-	opRelease
-	opSend
-	opBorrow
-)
-
-// classify maps a resolved callee to its buffer-ownership behaviour and
-// the index of the buffer argument where one applies.
-func (r *runner) classify(fn *types.Func, call *ast.CallExpr) (opKind, int) {
-	if fn == nil {
-		return opOther, 0
+// dischargeClause phrases how a buffer's obligation went away, for report
+// messages: "Release (line 12)", "Send (line 12)", "the channel send at
+// line 12 discharged it", "respond() at line 12 discharged it".
+func dischargeClause(f fact, line int) string {
+	switch f.verb {
+	case vRelease, vSend:
+		return f.verb + " (line " + itoa(line) + ")"
+	default:
+		return f.verb + " at line " + itoa(line) + " discharged it"
 	}
-	sig, _ := fn.Type().(*types.Signature)
-	if sig != nil && sig.Recv() != nil {
-		recv := sig.Recv().Type()
-		switch fn.Name() {
-		case "Alloc":
-			if r.implementsTransport(recv) && r.pooledSend(recv) && len(call.Args) == 1 {
-				return opAcquire, 0
-			}
-		case "Release":
-			if r.implementsTransport(recv) && r.pooledSend(recv) && len(call.Args) == 1 {
-				return opRelease, 0
-			}
-		case "Send":
-			if r.implementsTransport(recv) && len(call.Args) == 4 {
-				return opSend, 2
-			}
-		case "get":
-			if analysis.IsMethodOf(fn, analysis.TcpnetPath, "bufPool", "get") {
-				return opAcquire, 0
-			}
-		case "put":
-			if analysis.IsMethodOf(fn, analysis.TcpnetPath, "bufPool", "put") {
-				return opRelease, 0
-			}
-		}
-	}
-	if pkg := fn.Pkg(); pkg != nil {
-		switch pkg.Path() {
-		case "io", "encoding/binary", analysis.FabricPath:
-			return opBorrow, 0
-		}
-	}
-	return opOther, 0
 }
 
-// implementsTransport reports whether recv (as declared, value or pointer)
-// satisfies fabric.Transport, or is the interface itself.
-func (r *runner) implementsTransport(recv types.Type) bool {
-	if types.IsInterface(recv) {
-		return types.Implements(recv, r.iface) || types.Identical(recv.Underlying(), r.iface)
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
 	}
-	return types.Implements(recv, r.iface)
-}
-
-// pooledSend reports whether buffers from recv's Alloc are pool-backed.
-// Interface receivers are assumed pooled (the honest default: the Contract
-// documents Release as mandatory on pooled transports and a no-op
-// otherwise). For a concrete type the Contract method body is inspected
-// for a PooledSend: true composite-literal field; switchnet's Adapter
-// returns the zero Contract and is exempt.
-func (r *runner) pooledSend(recv types.Type) bool {
-	if types.IsInterface(recv) {
-		return true
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
 	}
-	t := recv
-	if ptr, ok := t.(*types.Pointer); ok {
-		t = ptr.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok {
-		return true
-	}
-	if v, ok := r.pooled[named.Obj()]; ok {
-		return v
-	}
-	pooled := true
-	obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, named.Obj().Pkg(), "Contract")
-	if fn, ok := obj.(*types.Func); ok {
-		if r.idx == nil {
-			r.idx = r.pass.FuncIndex()
-		}
-		if fb, ok := r.idx[fn]; ok {
-			pooled = false
-			ast.Inspect(fb.Body, func(n ast.Node) bool {
-				kv, ok := n.(*ast.KeyValueExpr)
-				if !ok {
-					return true
-				}
-				if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "PooledSend" {
-					if v, ok := kv.Value.(*ast.Ident); ok && v.Name == "true" {
-						pooled = true
-					}
-				}
-				return true
-			})
-		}
-	}
-	r.pooled[named.Obj()] = pooled
-	return pooled
+	return string(buf[i:])
 }
 
 func (r *runner) isAcquire(info *types.Info, call *ast.CallExpr) bool {
-	kind, _ := r.classify(analysis.Callee(info, call), call)
-	return kind == opAcquire
+	kind, _ := r.ops.Classify(info, call)
+	return kind == summary.OpAcquire
 }
 
 // --- state helpers -------------------------------------------------------
@@ -576,6 +655,15 @@ func releasedFact(s state, obj types.Object) (fact, bool) {
 		}
 	}
 	return best, found
+}
+
+func hasFacts(s state, obj types.Object) bool {
+	for f := range s {
+		if f.obj == obj {
+			return true
+		}
+	}
+	return false
 }
 
 func dropFacts(s state, obj types.Object) {
@@ -606,4 +694,27 @@ func objectIfIdent(info *types.Info, e ast.Expr) types.Object {
 		return nil
 	}
 	return info.ObjectOf(id)
+}
+
+// sliceBaseObj returns the base identifier's object when e is a (possibly
+// nested) slice or index expression over an identifier, else nil.
+func sliceBaseObj(info *types.Info, e ast.Expr) types.Object {
+	x := ast.Unparen(e)
+	if _, ok := x.(*ast.SliceExpr); !ok {
+		if _, ok := x.(*ast.IndexExpr); !ok {
+			return nil
+		}
+	}
+	for {
+		switch y := ast.Unparen(x).(type) {
+		case *ast.SliceExpr:
+			x = y.X
+		case *ast.IndexExpr:
+			x = y.X
+		case *ast.Ident:
+			return info.ObjectOf(y)
+		default:
+			return nil
+		}
+	}
 }

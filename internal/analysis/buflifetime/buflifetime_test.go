@@ -4,10 +4,41 @@ import (
 	"path/filepath"
 	"testing"
 
+	"golapi/internal/analysis"
 	"golapi/internal/analysis/analysistest"
 	"golapi/internal/analysis/buflifetime"
 )
 
 func TestBuflifetime(t *testing.T) {
 	analysistest.Run(t, filepath.Join("testdata", "src", "bl"), buflifetime.Analyzer)
+}
+
+// TestBuflifetimeInterprocedural runs the default (summary-backed,
+// channel-aware) analyzer over the blx suite, whose every finding needs
+// either a callee ownership summary or transfer-channel modeling.
+func TestBuflifetimeInterprocedural(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "blx"), buflifetime.Analyzer)
+}
+
+// TestIntraproceduralBaselineSilent pins down that the blx findings are
+// genuinely interprocedural: the v2-equivalent mode, which treats every
+// unknown call as an escape and ignores channels, reports nothing there.
+func TestIntraproceduralBaselineSilent(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "blx")
+	l, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	diags, _, err := analysis.RunPackage(l, pkg, []*analysis.Analyzer{buflifetime.Intraprocedural})
+	if err != nil {
+		t.Fatalf("RunPackage: %v", err)
+	}
+	for _, d := range diags {
+		pos := l.Fset.Position(d.Pos)
+		t.Errorf("intraprocedural mode unexpectedly reported %s:%d: %s", filepath.Base(pos.Filename), pos.Line, d.Message)
+	}
 }

@@ -131,13 +131,16 @@ func returnEscapes(tr fabric.Transport) []byte {
 	return b
 }
 
-// passEscapes is clean: an unmodelled call may retain or release it.
+// passEscapes is clean: the callee's summary says the buffer escapes (it
+// is retained in a global), so the obligation moves with it. A callee
+// that provably only borrows no longer silences the leak — see the
+// interprocedural suite (testdata/src/blx).
 func passEscapes(tr fabric.Transport) {
 	b := tr.Alloc(64)
 	consume(b)
 }
 
-func consume([]byte) {}
+func consume(b []byte) { stash = append(stash, b) }
 
 // storeEscapes is clean: the buffer outlives the function in a global.
 var stash [][]byte
@@ -158,6 +161,19 @@ func captureEscapes(tr fabric.Transport, run func(func())) {
 func selfSliceKeepsObligation(tr fabric.Transport, bad bool) {
 	b := tr.Alloc(64) // want `pooled transport buffer b may leak`
 	b = b[:32]
+	if bad {
+		return
+	}
+	tr.Release(b)
+}
+
+// aliasBorrowLeak: reslicing into a new name is an alias borrow, not an
+// escape — the base still owns the allocation (the gateway's
+// `data := frame[HeaderSize:]` shape), so the error path still leaks.
+func aliasBorrowLeak(tr fabric.Transport, bad bool) {
+	b := tr.Alloc(64) // want `pooled transport buffer b may leak`
+	data := b[8:]
+	data[0] = 1
 	if bad {
 		return
 	}

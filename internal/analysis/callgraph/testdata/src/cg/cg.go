@@ -1,0 +1,23 @@
+// Package cg is the callgraph unit-test fixture: a small DAG, a method,
+// a call through a function value (no edge), and a two-function cycle.
+package cg
+
+func a() {
+	b()
+	c()
+	b() // duplicate call site: still one edge
+}
+
+func b() { c() }
+
+func c() {}
+
+type t struct{}
+
+func (t t) m() { c() }
+
+func viaValue(f func()) { f() } // dynamic: no edge
+
+func loop1() { loop2() }
+
+func loop2() { loop1() }

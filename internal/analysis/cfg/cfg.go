@@ -15,7 +15,10 @@
 //     synthesized *ast.AssignStmt with an empty Rhs (the ranged operand is a
 //     separate leaf, evaluated once before the loop). Transfer functions
 //     treat an empty-Rhs assignment as "left-hand sides rebound to unknown
-//     values".
+//     values". The binding sits at the top of the body block — not in the
+//     head — so the zero-iteration path to range.after never executes it,
+//     and Graph.RangeBind maps it back to the ranged operand for passes
+//     that model `for v := range ch` as a channel receive.
 //
 //   - defer is modeled at both ends: the *ast.DeferStmt leaf marks argument
 //     evaluation at registration, and the deferred *ast.CallExpr nodes are
@@ -65,11 +68,16 @@ type Graph struct {
 	// LIFO order. Unreachable (never added an edge) when every path panics
 	// or loops forever.
 	Exit *Block
+	// RangeBind maps each synthesized per-iteration range binding (an
+	// empty-Rhs AssignStmt at the top of a range body) to the ranged
+	// operand, so transfer functions can treat ranging over a channel as a
+	// receive into the key variable.
+	RangeBind map[*ast.AssignStmt]ast.Expr
 }
 
 // New builds the control-flow graph of one function body.
 func New(body *ast.BlockStmt) *Graph {
-	g := &Graph{}
+	g := &Graph{RangeBind: make(map[*ast.AssignStmt]ast.Expr)}
 	b := &builder{g: g, labels: make(map[string]*Block)}
 	g.Entry = b.newBlock("entry")
 	g.Exit = &Block{Kind: "exit"} // appended to Blocks last, below
@@ -223,7 +231,8 @@ func (b *builder) stmt(s ast.Stmt) {
 		b.edge(head, body)
 		b.edge(head, after)
 		// Per-iteration key/value binding, as a synthesized assignment with
-		// an empty Rhs ("rebound to unknown values").
+		// an empty Rhs ("rebound to unknown values"). It leads the body
+		// block so the zero-iteration exit path never sees it.
 		if s.Key != nil || s.Value != nil {
 			a := &ast.AssignStmt{Tok: s.Tok, TokPos: s.For}
 			if s.Key != nil {
@@ -232,7 +241,8 @@ func (b *builder) stmt(s ast.Stmt) {
 			if s.Value != nil {
 				a.Lhs = append(a.Lhs, s.Value)
 			}
-			head.Nodes = append(head.Nodes, a)
+			body.Nodes = append(body.Nodes, a)
+			b.g.RangeBind[a] = s.X
 		}
 		b.stack = append(b.stack, target{label: label, brk: after, cont: head})
 		b.cur = body

@@ -280,20 +280,139 @@ func f(xs []int) int {
 	if head == nil {
 		t.Fatalf("no range.head block:\n%s", g)
 	}
-	found := false
-	for _, n := range head.Nodes {
-		if a, ok := n.(*ast.AssignStmt); ok && len(a.Rhs) == 0 && len(a.Lhs) == 2 {
-			found = true
-		}
-	}
-	if !found {
-		t.Errorf("range head lacks the synthesized empty-Rhs assignment:\n%s", g)
+	if len(head.Nodes) != 0 {
+		t.Errorf("range head should carry no nodes (binding lives in the body):\n%s", g)
 	}
 	body := blockWith(t, g, fset, 6)
+	var bind *ast.AssignStmt
+	for _, n := range body.Nodes {
+		if a, ok := n.(*ast.AssignStmt); ok && len(a.Rhs) == 0 && len(a.Lhs) == 2 {
+			bind = a
+		}
+	}
+	if bind == nil {
+		t.Fatalf("range body lacks the synthesized empty-Rhs assignment:\n%s", g)
+	}
+	if bind != body.Nodes[0] {
+		t.Errorf("synthesized binding is not the body's first node:\n%s", g)
+	}
+	if x, ok := g.RangeBind[bind]; !ok {
+		t.Errorf("RangeBind misses the synthesized binding")
+	} else if id, ok := x.(*ast.Ident); !ok || id.Name != "xs" {
+		t.Errorf("RangeBind maps to %v, want the ranged operand xs", x)
+	}
 	if !hasEdge(body, head) {
 		t.Errorf("no back edge range body -> head:\n%s", g)
 	}
-	_ = fset
+}
+
+func TestSelectWithDefault(t *testing.T) {
+	g, fset := build(t, `
+func f(ch chan int, out chan int) int {
+	v := 0
+	select {
+	case v = <-ch:
+		v++
+	case out <- v:
+		v = 2
+	default:
+		v = 3
+	}
+	return v
+}`, "f")
+	recv := blockWith(t, g, fset, 6) // case v = <-ch
+	send := blockWith(t, g, fset, 8) // case out <- v
+	def := blockWith(t, g, fset, 11) // default: v = 3
+	ret := blockWith(t, g, fset, 13)
+	for name, blk := range map[string]*Block{"recv": recv, "send": send, "default": def} {
+		if !reaches(g.Entry, blk) {
+			t.Errorf("select %s clause unreachable:\n%s", name, g)
+		}
+		if !reaches(blk, ret) {
+			t.Errorf("select %s clause cannot reach return:\n%s", name, g)
+		}
+	}
+	if reaches(recv, send) || reaches(send, def) || reaches(def, recv) {
+		t.Errorf("select clauses flow into each other:\n%s", g)
+	}
+	// The comm operation of a clause must sit inside that clause's block,
+	// not the dispatch head: channel-transfer passes rely on the receive
+	// only happening on the path where the case fired.
+	if recv == g.Entry || send == g.Entry {
+		t.Errorf("select comm merged into the dispatch head:\n%s", g)
+	}
+}
+
+func TestGotoIntoLoop(t *testing.T) {
+	g, fset := build(t, `
+func f(n int) int {
+	i := 0
+	if n > 10 {
+		goto inner
+	}
+	for i < n {
+	inner:
+		i++
+	}
+	return i
+}`, "f")
+	// goto emits no leaf node; the jump edge leaves the if.then block.
+	var jump *Block
+	for _, blk := range g.Blocks {
+		if blk.Kind == "if.then" {
+			jump = blk
+		}
+	}
+	if jump == nil {
+		t.Fatalf("no if.then block:\n%s", g)
+	}
+	incr := blockWith(t, g, fset, 10) // i++
+	guard := blockWith(t, g, fset, 8) // i < n
+	ret := blockWith(t, g, fset, 12)
+	if !reaches(jump, incr) {
+		t.Errorf("forward goto into the loop body missing:\n%s", g)
+	}
+	if !reaches(incr, guard) {
+		t.Errorf("loop body does not flow back to the guard after goto target:\n%s", g)
+	}
+	if !reaches(jump, ret) {
+		t.Errorf("goto path cannot leave the loop:\n%s", g)
+	}
+}
+
+func TestDeferInsideRangeBody(t *testing.T) {
+	g, fset := build(t, `
+func f(frames [][]byte) {
+	for _, b := range frames {
+		defer release(b)
+		use(b)
+	}
+}`, "f")
+	// The deferred call still lands in the exit block (defers are modeled
+	// as unconditional), and the registration leaf stays in the body.
+	if len(g.Exit.Nodes) != 1 {
+		t.Fatalf("exit holds %d deferred calls, want 1:\n%s", len(g.Exit.Nodes), g)
+	}
+	if fset.Position(g.Exit.Nodes[0].Pos()).Line != 5 {
+		t.Errorf("deferred call not from line 5:\n%s", g)
+	}
+	reg := blockWith(t, g, fset, 5)
+	use := blockWith(t, g, fset, 6)
+	if reg != use {
+		t.Errorf("registration and body use split across blocks:\n%s", g)
+	}
+	// The synthesized binding for b leads the same body block, before the
+	// defer registration that captures it.
+	if len(reg.Nodes) == 0 {
+		t.Fatalf("empty range body block:\n%s", g)
+	}
+	a, ok := reg.Nodes[0].(*ast.AssignStmt)
+	if !ok || len(a.Rhs) != 0 {
+		t.Errorf("range body does not start with the synthesized binding:\n%s", g)
+	}
+	if !reaches(g.Entry, g.Exit) {
+		t.Errorf("exit unreachable:\n%s", g)
+	}
 }
 
 func TestLabeledBreakContinue(t *testing.T) {

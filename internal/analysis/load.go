@@ -48,6 +48,7 @@ type Loader struct {
 	gc      types.Importer    // stdlib importer (export data)
 	pkgs    map[string]*Package
 	loading map[string]bool
+	shared  map[string]any // Shared: per-load memo for interprocedural layers
 }
 
 // NewLoader builds a loader for the module rooted at or above dir.
@@ -63,6 +64,7 @@ func NewLoader(dir string) (*Loader, error) {
 		exports:    make(map[string]string),
 		pkgs:       make(map[string]*Package),
 		loading:    make(map[string]bool),
+		shared:     make(map[string]any),
 	}
 	if err := l.indexExports("./..."); err != nil {
 		return nil, err
@@ -242,6 +244,22 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
 	l.pkgs[path] = pkg
 	return pkg, nil
+}
+
+// Shared returns the value cached under key for this load, calling build
+// to produce it on first use. Whole-module computations (call graph,
+// ownership summaries) are cached here so the ~10 lapivet passes running
+// over ~30 packages build each once per load, not once per package — and
+// so results from different loads (analysistest fixtures vs. the real
+// module) can never mix. Like the Loader itself, not safe for concurrent
+// use.
+func (l *Loader) Shared(key string, build func() any) any {
+	v, ok := l.shared[key]
+	if !ok {
+		v = build()
+		l.shared[key] = v
+	}
+	return v
 }
 
 // Loaded returns every module package loaded so far (analyzed packages and

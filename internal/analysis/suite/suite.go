@@ -1,0 +1,36 @@
+// Package suite lists the lapivet pass suite in its canonical order — the
+// single source of truth shared by cmd/lapivet (the `make lint` gate) and
+// internal/bench (which times the suite so the cost of the summary layer
+// stays visible in BENCH_hotpath.json).
+package suite
+
+import (
+	"golapi/internal/analysis"
+	"golapi/internal/analysis/buflifetime"
+	"golapi/internal/analysis/bufreuse"
+	"golapi/internal/analysis/counterproto"
+	"golapi/internal/analysis/creditflow"
+	"golapi/internal/analysis/ctxflow"
+	"golapi/internal/analysis/handlerblock"
+	"golapi/internal/analysis/poollifetime"
+	"golapi/internal/analysis/shardshare"
+	"golapi/internal/analysis/simdeterminism"
+	"golapi/internal/analysis/teardownpath"
+)
+
+// Analyzers returns the full lapivet suite, one analyzer per enforced
+// invariant (DESIGN.md "Usage invariants"), in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		handlerblock.Analyzer,
+		bufreuse.Analyzer,
+		buflifetime.Analyzer,
+		counterproto.Analyzer,
+		creditflow.Analyzer,
+		ctxflow.Analyzer,
+		simdeterminism.Analyzer,
+		poollifetime.Analyzer,
+		shardshare.Analyzer,
+		teardownpath.Analyzer,
+	}
+}

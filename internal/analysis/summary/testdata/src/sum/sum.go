@@ -1,0 +1,57 @@
+// Package sum is the ownership-summary unit-test fixture: one function
+// per lattice point, a transitive consume, recursion, and a transfer
+// channel.
+package sum
+
+import "golapi/internal/fabric"
+
+func release(tr fabric.Transport, b []byte) {
+	tr.Release(b)
+}
+
+func borrow(b []byte) {
+	b[0] = 1
+}
+
+var sink [][]byte
+
+func escape(b []byte) {
+	sink = append(sink, b)
+}
+
+func maybe(tr fabric.Transport, b []byte, f bool) {
+	if f {
+		tr.Release(b)
+	}
+}
+
+// wrap consumes transitively through release's summary.
+func wrap(tr fabric.Transport, b []byte) {
+	release(tr, b)
+}
+
+// recur passes b into an in-progress callee (itself): conservatively an
+// escape, even though every path also releases.
+func recur(tr fabric.Transport, b []byte, n int) {
+	if n > 0 {
+		recur(tr, b, n-1)
+	}
+	tr.Release(b)
+}
+
+// send transfers b's obligation into the channel, marking ch a transfer
+// channel.
+func send(ch chan []byte, b []byte) {
+	ch <- b
+}
+
+// deferRelease consumes via the replayed defer.
+func deferRelease(tr fabric.Transport, b []byte) {
+	defer tr.Release(b)
+	b[0] = 1
+}
+
+// returned escapes into the caller's hands.
+func returned(b []byte) []byte {
+	return b
+}

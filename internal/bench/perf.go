@@ -11,6 +11,8 @@ import (
 	"testing"
 	"time"
 
+	"golapi/internal/analysis"
+	"golapi/internal/analysis/suite"
 	"golapi/internal/cluster"
 	"golapi/internal/exec"
 	"golapi/internal/lapi"
@@ -58,6 +60,14 @@ type HotpathReport struct {
 
 	// Simulated-switch LAPI: allocations per 4-byte PutSync.
 	SimAllocsPerMsg float64 `json:"sim_allocs_per_msg"`
+
+	// LintWallMs is one `make lint` equivalent — the full lapivet suite
+	// (including the interprocedural ownership summaries and channel-aware
+	// gateway invariants of lapivet v3) over every module package — so the
+	// summary layer's cost stays visible in the perf trajectory. 0 in
+	// quick mode: make check runs the real `make lint` gate itself, and
+	// benchsmoke must stay sub-second.
+	LintWallMs float64 `json:"lint_wall_ms"`
 }
 
 // sweepOnce runs the wall-clock reference sweep (Table 2 + Figure 2 +
@@ -143,7 +153,22 @@ func MeasureHotpath(px *parallel.Executor, quick bool) (HotpathReport, error) {
 	if r.SimAllocsPerMsg, err = simPutAllocs(px, allocRuns); err != nil {
 		return r, err
 	}
+
+	if !quick {
+		if r.LintWallMs, err = wallMs(lintOnce); err != nil {
+			return r, err
+		}
+	}
 	return r, nil
+}
+
+// lintOnce runs the full lapivet suite over the module, in-process — the
+// work `make lint` does, minus the `go run` build step, so LintWallMs
+// isolates analysis cost. Diagnostics are not an error here (`make lint`
+// gates on them separately); only a failure to load and analyze is.
+func lintOnce() error {
+	_, err := analysis.Run(".", []string{"./..."}, suite.Analyzers())
+	return err
 }
 
 // engineEventRate times scheduling and draining n no-op timer events on a
