@@ -26,7 +26,7 @@ test:
 
 race:
 	$(GO) test -race ./internal/tcpnet/ ./internal/exec/ ./internal/parallel/
-	$(GO) test -race -run 'TCP|Real' ./internal/collective/ ./internal/mpi/ ./internal/ga/
+	$(GO) test -race -run 'TCP|Real' ./internal/collective/ ./internal/mpi/ ./internal/ga/ ./internal/lapi/
 	$(GO) test -race -run 'Sharded' ./internal/switchnet/ ./internal/cluster/
 	$(GO) test -race ./internal/gateway/...
 
@@ -35,7 +35,7 @@ race:
 # parallel executor's workers (internal/parallel).
 determinism:
 	@$(GO) build -o /tmp/golapi-lapibench ./cmd/lapibench
-	@for exp in table2 fig2 all; do \
+	@for exp in table2 fig2 rndv all; do \
 		/tmp/golapi-lapibench -exp $$exp -csv -serial > /tmp/golapi-$$exp-serial.out; \
 		/tmp/golapi-lapibench -exp $$exp -csv > /tmp/golapi-$$exp-parallel.out; \
 		if ! cmp -s /tmp/golapi-$$exp-serial.out /tmp/golapi-$$exp-parallel.out; then \
@@ -44,6 +44,17 @@ determinism:
 		fi; \
 		echo "determinism: -exp $$exp byte-identical serial vs parallel"; \
 	done
+	@# Sub-crossover bit-identity: below the rendezvous crossover (256 KB on
+	@# the simulated switch) the protocol machinery must not move a single
+	@# virtual tick, so fig2's first 15 CSV lines (header + sizes 16 B
+	@# through 128 KB) are byte-identical with rendezvous on and off.
+	@/tmp/golapi-lapibench -exp fig2 -csv | head -15 > /tmp/golapi-fig2-rndv.out; \
+	/tmp/golapi-lapibench -exp fig2 -csv -force-eager | head -15 > /tmp/golapi-fig2-eager.out; \
+	if ! cmp -s /tmp/golapi-fig2-rndv.out /tmp/golapi-fig2-eager.out; then \
+		echo "determinism: fig2 sub-crossover rows differ between rendezvous and -force-eager:"; \
+		diff /tmp/golapi-fig2-rndv.out /tmp/golapi-fig2-eager.out; exit 1; \
+	fi; \
+	echo "determinism: fig2 sub-crossover rows byte-identical with and without rendezvous"
 	@$(GO) build -o /tmp/golapi-lapivet ./cmd/lapivet
 	@/tmp/golapi-lapivet -json ./internal/analysis/buflifetime/testdata/src/bl > /tmp/golapi-lapivet-1.json 2>/dev/null; \
 	/tmp/golapi-lapivet -json ./internal/analysis/buflifetime/testdata/src/bl > /tmp/golapi-lapivet-2.json 2>/dev/null; \

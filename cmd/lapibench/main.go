@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	lapibench [-exp table2|pipeline|fig2|scale|collective|mesh|all] [-csv] [-serial] [-shards N]
+//	lapibench [-exp table2|pipeline|fig2|scale|collective|rndv|mesh|all] [-csv] [-serial] [-shards N] [-force-eager]
 package main
 
 import (
@@ -23,10 +23,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, pipeline, fig2, scale, collective, mesh, all")
-	csv := flag.Bool("csv", false, "emit data series as CSV (table2, fig2, scale, collective)")
+	exp := flag.String("exp", "all", "experiment to run: table2, pipeline, fig2, scale, collective, rndv, mesh, all")
+	csv := flag.Bool("csv", false, "emit data series as CSV (table2, fig2, scale, collective, rndv)")
 	serial := flag.Bool("serial", false, "run sweep points serially instead of across CPU cores")
 	shards := flag.Int("shards", 4, "sub-engines for the Tier B parallel mesh (-exp mesh)")
+	forceEager := flag.Bool("force-eager", false, "disable the rendezvous protocol for fig2's LAPI series (the determinism gate byte-diffs sub-crossover rows against the default)")
 	flag.Parse()
 	log.SetFlags(0)
 
@@ -89,8 +90,24 @@ func main() {
 			fmt.Println()
 		}
 	}
+	if run("rndv") {
+		pts, err := bench.MeasureRndvSweep(px, bench.RndvSweepSizes())
+		if err != nil {
+			log.Fatalf("rndv: %v", err)
+		}
+		if *csv {
+			fmt.Print(bench.CSVRndv(pts))
+		} else {
+			fmt.Print(bench.FormatRndv(pts))
+			fmt.Println()
+		}
+	}
 	if run("fig2") {
-		pts, err := bench.MeasureFigure2(px, bench.Figure2Sizes())
+		rndvLimit := 0 // auto-tuned crossover, the default protocol
+		if *forceEager {
+			rndvLimit = -1
+		}
+		pts, err := bench.MeasureFigure2Rndv(px, bench.Figure2Sizes(), rndvLimit)
 		if err != nil {
 			log.Fatalf("fig2: %v", err)
 		}
@@ -116,6 +133,6 @@ func main() {
 		}
 	}
 	if !ran {
-		log.Fatalf("unknown experiment %q (want table2, pipeline, fig2, scale, collective, mesh or all)", *exp)
+		log.Fatalf("unknown experiment %q (want table2, pipeline, fig2, scale, collective, rndv, mesh or all)", *exp)
 	}
 }

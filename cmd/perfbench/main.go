@@ -49,6 +49,8 @@ func main() {
 		r.SweepWallMsSerial, r.SweepWallMsParallel, r.SweepSpeedup, r.ParallelWorkers, r.NumCPU)
 	fmt.Printf("tcp:     %.0f msgs/s (4-byte PutSync, loopback), %.1f allocs/msg\n",
 		r.TCPMsgsPerSec, r.TCPAllocsPerMsg)
+	fmt.Printf("tcp-big: %.0f MB/s (1 MB PutSync, rendezvous), %.1f allocs/msg, crossover %d B\n",
+		r.TCPLargeBWMBs, r.TCPAllocsPerLargeMsg, r.RndvCrossoverBytes)
 	fmt.Printf("sim:     %.1f allocs/msg (4-byte PutSync, simulated switch)\n",
 		r.SimAllocsPerMsg)
 	if !*quick {

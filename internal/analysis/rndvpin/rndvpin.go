@@ -1,0 +1,340 @@
+// Package rndvpin statically enforces the rendezvous pinning contract
+// (DESIGN.md §12): a Put or PutStrided issued with a nil origin counter
+// may still borrow the caller's buffer — above the crossover the library
+// pins it for zero-copy direct placement until the transfer drains. With
+// no origin counter to wait on, the only events that prove the drain are
+// a wait on the operation's completion counter (which fires causally
+// after the payload left the buffer) or a fence. A write to the buffer
+// before one of those races with the adapter's read of the live slice —
+// exactly the window bufreuse cannot see, because bufreuse keys its
+// tracking on the origin counter that is absent here.
+//
+// Like bufreuse, the pass is flow-sensitive: each body is lowered to a
+// CFG and a may-analysis runs to a fixpoint; a pair outstanding on ANY
+// path into a write is reported. Kills: Waitcntr/Getcntr/Setcntr on the
+// pair's completion counter, Fence/Gfence/Barrier/Close, rebinding the
+// buffer name, or a wait on an unresolvable counter expression (which may
+// name any counter — the pass underreports rather than cry wolf). A call
+// that passes a resolvable origin counter is bufreuse's business and is
+// ignored here; one with an unresolvable (non-nil) origin expression is
+// ignored too, since the caller may well wait on it.
+package rndvpin
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"golapi/internal/analysis"
+	"golapi/internal/analysis/cfg"
+	"golapi/internal/analysis/dataflow"
+)
+
+// Analyzer is the rndvpin pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "rndvpin",
+	Doc:  "report writes to a rendezvous-pinned origin buffer (nil origin counter) before its completion counter or a fence retires the pin",
+	Run:  run,
+}
+
+// pinOp describes one Put-family call: which argument is the origin
+// buffer, and where the origin and completion counters sit.
+type pinOp struct {
+	bufArg  int
+	orgArg  int
+	cmplArg int
+}
+
+var pinOps = map[string]pinOp{
+	"Put":        {bufArg: 3, orgArg: 5, cmplArg: 6},
+	"PutStrided": {bufArg: 4, orgArg: 6, cmplArg: 7},
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Lookup(analysis.LapiPath) == nil {
+		return nil
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					check(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				check(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func check(pass *analysis.Pass, body *ast.BlockStmt) {
+	g := cfg.New(body)
+	c := &checker{pass: pass}
+	res := dataflow.Solve(g, c)
+	c.report = true
+	res.Walk(g, c)
+}
+
+// rec is one outstanding pin: buf was lent to op (at line) with no origin
+// counter; cmpl is the completion counter that can retire it, or nil when
+// the call passed nil there too (then only a fence retires it).
+type rec struct {
+	buf  types.Object
+	cmpl types.Object
+	op   string
+	line int
+}
+
+// state is the may-set of outstanding pins.
+type state map[rec]bool
+
+type checker struct {
+	pass   *analysis.Pass
+	report bool
+}
+
+func (c *checker) Entry() state { return state{} }
+
+func (c *checker) Clone(s state) state {
+	n := make(state, len(s))
+	for r := range s {
+		n[r] = true
+	}
+	return n
+}
+
+func (c *checker) Merge(dst, src state) state {
+	for r := range src {
+		dst[r] = true
+	}
+	return dst
+}
+
+func (c *checker) Equal(a, b state) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for r := range a {
+		if !b[r] {
+			return false
+		}
+	}
+	return true
+}
+
+// Transfer applies one CFG leaf; function literals and defer/go
+// registration subtrees are opaque, as in bufreuse.
+func (c *checker) Transfer(n ast.Node, s state) state {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			c.call(n, s)
+		case *ast.AssignStmt:
+			c.assign(n, s)
+		case *ast.IncDecStmt:
+			if obj := c.writeTarget(n.X, s); obj != nil {
+				c.reportWrite(n.Pos(), obj, s)
+			}
+		}
+		return true
+	})
+	return s
+}
+
+// call handles one call expression: nil-origin Puts add pins, waits on
+// the completion counter retire them, copy into a pinned buffer writes.
+func (c *checker) call(call *ast.CallExpr, s state) {
+	info := c.pass.Pkg.Info
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "copy" && len(call.Args) == 2 {
+			if obj := c.writeTarget(call.Args[0], s); obj != nil {
+				c.reportWrite(call.Pos(), obj, s)
+			}
+			return
+		}
+	}
+	fn := analysis.Callee(info, call)
+	if fn == nil {
+		return
+	}
+	name := fn.Name()
+	switch {
+	case analysis.IsMethodOf(fn, analysis.LapiPath, "Task", "Put", "PutStrided"):
+		op := pinOps[name]
+		if len(call.Args) <= op.cmplArg {
+			return
+		}
+		// Only the nil-origin form is this pass's business: a resolvable
+		// origin counter is bufreuse's, and an opaque origin expression
+		// may be waited on by the caller.
+		if !c.isNil(call.Args[op.orgArg]) {
+			return
+		}
+		buf := c.objectIfIdent(call.Args[op.bufArg])
+		if buf == nil {
+			return
+		}
+		cmpl := c.objectIfIdent(call.Args[op.cmplArg]) // nil when the cmpl slot is nil or opaque
+		pos := c.pass.Fset.Position(call.Pos())
+		s[rec{buf: buf, cmpl: cmpl, op: name, line: pos.Line}] = true
+	case analysis.IsMethodOf(fn, analysis.LapiPath, "Task", "Waitcntr", "Getcntr", "Setcntr"):
+		if len(call.Args) < 2 {
+			return
+		}
+		cntr := c.objectIfIdent(call.Args[1])
+		for r := range s {
+			// An unresolvable counter expression may name any counter:
+			// retire everything rather than report around an opaque wait.
+			// A pin with no completion counter (r.cmpl == nil) survives
+			// every wait — only a fence can retire it.
+			if cntr == nil || (r.cmpl != nil && r.cmpl == cntr) {
+				delete(s, r)
+			}
+		}
+	case analysis.IsMethodOf(fn, analysis.LapiPath, "Task", "Fence", "Gfence", "Barrier", "Close"):
+		for r := range s {
+			delete(s, r)
+		}
+	}
+}
+
+// assign handles writes on the left-hand sides of an assignment; rebinding
+// a pinned name retires its pins.
+func (c *checker) assign(a *ast.AssignStmt, s state) {
+	for _, lhs := range a.Lhs {
+		switch l := ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr, *ast.SliceExpr:
+			if obj := c.writeTarget(l, s); obj != nil {
+				c.reportWrite(a.Pos(), obj, s)
+			}
+		case *ast.Ident:
+			obj := c.pass.Pkg.Info.ObjectOf(l)
+			if obj == nil || !tracked(s, obj) {
+				continue
+			}
+			if c.appendsTo(a.Rhs, obj) {
+				c.reportWrite(a.Pos(), obj, s)
+			} else {
+				for r := range s {
+					if r.buf == obj {
+						delete(s, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+// writeTarget resolves the base identifier of an index/slice expression if
+// its object is currently pinned on some path.
+func (c *checker) writeTarget(e ast.Expr, s state) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj := c.pass.Pkg.Info.ObjectOf(x); obj != nil && tracked(s, obj) {
+				return obj
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// appendsTo reports whether any rhs is append(obj, ...).
+func (c *checker) appendsTo(rhs []ast.Expr, obj types.Object) bool {
+	for _, e := range rhs {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if b, ok := c.pass.Pkg.Info.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+			continue
+		}
+		if arg, ok := ast.Unparen(call.Args[0]).(*ast.Ident); ok && c.pass.Pkg.Info.ObjectOf(arg) == obj {
+			return true
+		}
+	}
+	return false
+}
+
+func tracked(s state, obj types.Object) bool {
+	for r := range s {
+		if r.buf == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// isNil reports whether e is the untyped nil literal.
+func (c *checker) isNil(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := c.pass.Pkg.Info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+func (c *checker) objectIfIdent(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "nil" {
+		return nil
+	}
+	return c.pass.Pkg.Info.ObjectOf(id)
+}
+
+// reportWrite emits one diagnostic for a write to a buffer pinned on some
+// path; the earliest pin is reported, deterministically.
+func (c *checker) reportWrite(pos token.Pos, obj types.Object, s state) {
+	if !c.report {
+		return
+	}
+	var hits []rec
+	for r := range s {
+		if r.buf == obj {
+			hits = append(hits, r)
+		}
+	}
+	if len(hits) == 0 {
+		return
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		a, b := hits[i], hits[j]
+		if a.line != b.line {
+			return a.line < b.line
+		}
+		if a.op != b.op {
+			return a.op < b.op
+		}
+		an, bn := "", ""
+		if a.cmpl != nil {
+			an = a.cmpl.Name()
+		}
+		if b.cmpl != nil {
+			bn = b.cmpl.Name()
+		}
+		return an < bn
+	})
+	r := hits[0]
+	if r.cmpl != nil {
+		c.pass.Reportf(pos, "origin buffer %s of nil-origin %s (line %d) written before Waitcntr/Getcntr on its completion counter %s: above the rendezvous crossover the buffer is pinned for zero-copy until the transfer drains (DESIGN.md §12)", obj.Name(), r.op, r.line, r.cmpl.Name())
+	} else {
+		c.pass.Reportf(pos, "origin buffer %s of nil-origin %s (line %d) written with no counter to wait on: only Fence/Gfence can retire a rendezvous pin issued without counters (DESIGN.md §12)", obj.Name(), r.op, r.line)
+	}
+}

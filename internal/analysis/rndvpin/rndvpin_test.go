@@ -1,0 +1,13 @@
+package rndvpin_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"golapi/internal/analysis/analysistest"
+	"golapi/internal/analysis/rndvpin"
+)
+
+func TestRndvpin(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "rp"), rndvpin.Analyzer)
+}

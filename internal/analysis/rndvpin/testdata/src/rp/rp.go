@@ -1,0 +1,125 @@
+// Package rp is the rndvpin golden test: a Put issued with a nil origin
+// counter may pin its buffer for zero-copy rendezvous, so writes before
+// the completion-counter wait (or a fence) must be flagged; writes after,
+// and calls that do carry an origin counter (bufreuse's territory), are
+// clean.
+package rp
+
+import (
+	"golapi/internal/exec"
+	"golapi/internal/lapi"
+)
+
+// writeBeforeCmplWait is the basic violation: nil origin counter, buffer
+// overwritten while the rendezvous transfer may still be reading it.
+func writeBeforeCmplWait(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
+	buf := make([]byte, 1<<20)
+	cmpl := t.NewCounter()
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, nil, cmpl)
+	buf[0] = 1 // want `origin buffer buf of nil-origin Put .* written before Waitcntr/Getcntr on its completion counter cmpl`
+	t.Waitcntr(ctx, cmpl, 1)
+}
+
+// writeAfterCmplWait is clean: the completion counter fires causally after
+// the payload left the buffer.
+func writeAfterCmplWait(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
+	buf := make([]byte, 1<<20)
+	cmpl := t.NewCounter()
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, nil, cmpl)
+	t.Waitcntr(ctx, cmpl, 1)
+	buf[0] = 1
+}
+
+// noCountersNeedsFence: with neither origin nor completion counter, only a
+// fence retires the pin — the write before Fence is flagged, the one after
+// is clean.
+func noCountersNeedsFence(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
+	buf := make([]byte, 1<<20)
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, nil, nil)
+	buf[0] = 1 // want `origin buffer buf of nil-origin Put .* written with no counter to wait on`
+	t.Fence(ctx)
+	buf[1] = 2
+}
+
+// orgCounterIsBufreuse is clean here: an origin counter was passed, so the
+// pin has a dedicated wait and bufreuse (not rndvpin) owns the invariant.
+func orgCounterIsBufreuse(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
+	buf := make([]byte, 1<<20)
+	org := t.NewCounter()
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, org, nil)
+	t.Waitcntr(ctx, org, 1)
+	buf[0] = 1
+}
+
+// copyBeforeWait flags the copy builtin as a write, on the strided form.
+func copyBeforeWait(ctx exec.Context, t *lapi.Task, addr lapi.Addr, next []byte) {
+	buf := make([]byte, 1<<20)
+	cmpl := t.NewCounter()
+	t.PutStrided(ctx, 1, addr, lapi.Stride{Blocks: 1, BlockBytes: 8, StrideBytes: 8}, buf, lapi.NoCounter, nil, cmpl)
+	copy(buf, next) // want `origin buffer buf of nil-origin PutStrided .* written before Waitcntr/Getcntr on its completion counter cmpl`
+	t.Waitcntr(ctx, cmpl, 1)
+}
+
+// branchWait only retires the pin on one path: the write after the join is
+// outstanding on the other path and must be flagged.
+func branchWait(ctx exec.Context, t *lapi.Task, addr lapi.Addr, fast bool) {
+	buf := make([]byte, 1<<20)
+	cmpl := t.NewCounter()
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, nil, cmpl)
+	if fast {
+		t.Waitcntr(ctx, cmpl, 1)
+	}
+	buf[0] = 1 // want `origin buffer buf of nil-origin Put`
+	t.Waitcntr(ctx, cmpl, 1)
+}
+
+// loopCarried: the Put at the loop tail leaves the pin outstanding across
+// the back edge, so the write at the head of the next iteration races.
+func loopCarried(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
+	buf := make([]byte, 1<<20)
+	cmpl := t.NewCounter()
+	for i := 0; i < 4; i++ {
+		buf[0] = byte(i) // want `origin buffer buf of nil-origin Put`
+		t.Put(ctx, 1, addr, buf, lapi.NoCounter, nil, cmpl)
+	}
+	t.Waitcntr(ctx, cmpl, 4)
+}
+
+// gfenceClears is clean: Gfence completes every outstanding transfer.
+func gfenceClears(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
+	buf := make([]byte, 1<<20)
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, nil, nil)
+	t.Gfence(ctx)
+	buf[0] = 1
+}
+
+// rebindClears is clean: the name no longer reaches the lent-out array.
+func rebindClears(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
+	buf := make([]byte, 1<<20)
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, nil, nil)
+	buf = make([]byte, 1<<20)
+	buf[0] = 1
+	_ = buf
+	t.Gfence(ctx)
+}
+
+// opaqueWaitClears is clean: a wait on a counter expression the pass
+// cannot resolve may name any counter, so everything retires.
+func opaqueWaitClears(ctx exec.Context, t *lapi.Task, addr lapi.Addr, cs []*lapi.Counter) {
+	buf := make([]byte, 1<<20)
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, nil, cs[0])
+	t.Waitcntr(ctx, cs[0], 1)
+	buf[0] = 1
+}
+
+// wrongCounterWait: waiting on an unrelated (but resolvable) counter does
+// not retire the pin.
+func wrongCounterWait(ctx exec.Context, t *lapi.Task, addr lapi.Addr) {
+	buf := make([]byte, 1<<20)
+	cmpl := t.NewCounter()
+	other := t.NewCounter()
+	t.Put(ctx, 1, addr, buf, lapi.NoCounter, nil, cmpl)
+	t.Waitcntr(ctx, other, 1)
+	buf[0] = 1 // want `origin buffer buf of nil-origin Put .* completion counter cmpl`
+	t.Waitcntr(ctx, cmpl, 1)
+}

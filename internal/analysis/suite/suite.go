@@ -13,6 +13,7 @@ import (
 	"golapi/internal/analysis/ctxflow"
 	"golapi/internal/analysis/handlerblock"
 	"golapi/internal/analysis/poollifetime"
+	"golapi/internal/analysis/rndvpin"
 	"golapi/internal/analysis/shardshare"
 	"golapi/internal/analysis/simdeterminism"
 	"golapi/internal/analysis/teardownpath"
@@ -24,6 +25,7 @@ func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		handlerblock.Analyzer,
 		bufreuse.Analyzer,
+		rndvpin.Analyzer,
 		buflifetime.Analyzer,
 		counterproto.Analyzer,
 		creditflow.Analyzer,

@@ -276,6 +276,16 @@ func Figure2Sizes() []int {
 // land in their input slots, keeping the output identical to a serial
 // sweep.
 func MeasureFigure2(px *parallel.Executor, sizes []int) ([]BandwidthPoint, error) {
+	return MeasureFigure2Rndv(px, sizes, 0)
+}
+
+// MeasureFigure2Rndv is MeasureFigure2 with an explicit eager/rendezvous
+// crossover for the LAPI series (0 auto-tunes, negative forces eager —
+// the lapibench -force-eager sweep the determinism gate byte-diffs against
+// the default below the crossover). The MPI series are unaffected.
+func MeasureFigure2Rndv(px *parallel.Executor, sizes []int, rndvLimit int) ([]BandwidthPoint, error) {
+	lcfg := lapi.DefaultConfig()
+	lcfg.RndvLimit = rndvLimit
 	points := make([]BandwidthPoint, len(sizes))
 	for i, s := range sizes {
 		points[i].Size = s
@@ -285,7 +295,7 @@ func MeasureFigure2(px *parallel.Executor, sizes []int) ([]BandwidthPoint, error
 		var err error
 		switch series {
 		case 0:
-			points[i].LAPI, err = lapiBandwidth(sizes[i])
+			points[i].LAPI, err = lapiBandwidthCfg(sizes[i], lcfg)
 		case 1:
 			points[i].MPIDefault, err = mpiBandwidth(sizes[i], 4096)
 		default:
@@ -317,7 +327,16 @@ func bwReps(size int) int {
 // task make a LAPI_Put call to the other task and waiting for it to
 // complete" (§4).
 func lapiBandwidth(size int) (float64, error) {
-	c, err := cluster.NewSimDefault(2)
+	return lapiBandwidthCfg(size, lapi.DefaultConfig())
+}
+
+// lapiBandwidthCfg is lapiBandwidth with an explicit LAPI config, so
+// sweeps can pin the protocol regime (RndvLimit -1 forces eager, 1 forces
+// rendezvous) against the auto-tuned default. No package state is
+// involved: every call builds a fresh two-task simulation, keeping the
+// sweep deterministic under the parallel executor.
+func lapiBandwidthCfg(size int, lcfg lapi.Config) (float64, error) {
+	c, err := cluster.NewSim(2, switchnet.DefaultConfig(), lcfg)
 	if err != nil {
 		return 0, err
 	}

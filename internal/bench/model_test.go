@@ -61,18 +61,33 @@ func TestPipelineLatencyMatchesAnalyticModel(t *testing.T) {
 
 // TestBandwidthMatchesAnalyticAsymptote: at 2 MB the LAPI put bandwidth
 // must equal payload-per-packet over per-packet wire time within 2% (link-
-// limited steady state).
+// limited steady state) — for both protocol regimes. The default config
+// routes a 2 MB Put over rendezvous (12-byte direct-lane fragment header);
+// forcing eager pins the paper's original asymptote (48-byte LAPI header).
 func TestBandwidthMatchesAnalyticAsymptote(t *testing.T) {
 	lcfg := lapi.DefaultConfig()
 	scfg := switchnet.DefaultConfig()
+	perPacket := float64(scfg.PacketBytes) / scfg.Bandwidth
+	analytic := func(header int) float64 {
+		return float64(scfg.PacketBytes-header) / perPacket / 1e6
+	}
+
 	bw, err := lapiBandwidth(2 << 20)
 	if err != nil {
 		t.Fatal(err)
 	}
-	payload := float64(scfg.PacketBytes - lcfg.HeaderBytes)
-	perPacket := float64(scfg.PacketBytes) / scfg.Bandwidth
-	analytic := payload / perPacket / 1e6
-	if bw < analytic*0.97 || bw > analytic*1.01 {
-		t.Fatalf("asymptotic bandwidth %.1f MB/s, analytic %.1f MB/s", bw, analytic)
+	// Direct-lane fragments carry an 8-byte token + 4-byte offset.
+	if want := analytic(12); bw < want*0.97 || bw > want*1.01 {
+		t.Fatalf("rendezvous asymptotic bandwidth %.1f MB/s, analytic %.1f MB/s", bw, want)
+	}
+
+	eagerCfg := lcfg
+	eagerCfg.RndvLimit = -1
+	bw, err = lapiBandwidthCfg(2<<20, eagerCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := analytic(lcfg.HeaderBytes); bw < want*0.97 || bw > want*1.01 {
+		t.Fatalf("eager asymptotic bandwidth %.1f MB/s, analytic %.1f MB/s", bw, want)
 	}
 }

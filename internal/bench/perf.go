@@ -58,6 +58,19 @@ type HotpathReport struct {
 	TCPMsgsPerSec   float64 `json:"tcp_msgs_per_sec"`
 	TCPAllocsPerMsg float64 `json:"tcp_allocs_per_msg"`
 
+	// Real-TCP loopback LAPI, large messages: 1 MB PutSyncs riding the
+	// rendezvous path (well above the crossover), with the payload
+	// travelling the transport's zero-copy direct lane — writev straight
+	// from the sender's slice, landed straight in the target region.
+	// TCPAllocsPerLargeMsg is the headline: 0 means no per-message
+	// allocation anywhere in the process, intermediate buffers included.
+	TCPLargeMsgs         int     `json:"tcp_large_msgs"`
+	TCPLargeBWMBs        float64 `json:"tcp_large_bw_mbs"`
+	TCPAllocsPerLargeMsg float64 `json:"tcp_allocs_per_large_msg"`
+	// RndvCrossoverBytes is the eager/rendezvous crossover the TCP tasks
+	// resolved (Config.RndvLimit auto-tuning).
+	RndvCrossoverBytes int `json:"rndv_crossover_bytes"`
+
 	// Simulated-switch LAPI: allocations per 4-byte PutSync.
 	SimAllocsPerMsg float64 `json:"sim_allocs_per_msg"`
 
@@ -150,6 +163,19 @@ func MeasureHotpath(px *parallel.Executor, quick bool) (HotpathReport, error) {
 	r.TCPMsgsPerSec = float64(msgs) / tcpElapsed.Seconds()
 	r.TCPAllocsPerMsg = tcpAllocs
 
+	largeMsgs, largeAllocRuns := 200, 50
+	if quick {
+		largeMsgs, largeAllocRuns = 20, 10
+	}
+	r.TCPLargeMsgs = largeMsgs
+	largeElapsed, largeAllocs, crossover, err := tcpLargePutRate(px, largeMsgs, largeAllocRuns)
+	if err != nil {
+		return r, err
+	}
+	r.TCPLargeBWMBs = float64(tcpLargeMsgBytes) * float64(largeMsgs) / largeElapsed.Seconds() / 1e6
+	r.TCPAllocsPerLargeMsg = largeAllocs
+	r.RndvCrossoverBytes = crossover
+
 	if r.SimAllocsPerMsg, err = simPutAllocs(px, allocRuns); err != nil {
 		return r, err
 	}
@@ -222,6 +248,50 @@ func tcpPutRate(px *parallel.Executor, msgs, allocRuns int) (elapsed time.Durati
 		t.Gfence(ctx)
 	})
 	return elapsed, allocsPerMsg, err
+}
+
+// tcpLargeMsgBytes is the large-message benchmark's transfer size: 1 MB,
+// an order of magnitude above the TCP auto-crossover (2×MaxPacket =
+// 128 KB), so every Put rides the rendezvous direct lane.
+const tcpLargeMsgBytes = 1 << 20
+
+// tcpLargePutRate is tcpPutRate for 1 MB messages: synchronous Puts that
+// negotiate RTS/CTS and move the payload over the zero-copy lane. Returns
+// wall time for the timed series, steady-state allocations per Put
+// (process-wide, exclusive lane — the acceptance target is 0), and the
+// crossover the tasks resolved.
+func tcpLargePutRate(px *parallel.Executor, msgs, allocRuns int) (elapsed time.Duration, allocsPerMsg float64, crossover int, err error) {
+	j, err := cluster.NewTCPLAPI(2, lapi.ZeroCost())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	err = j.Run(func(ctx exec.Context, t *lapi.Task) {
+		buf := t.Alloc(tcpLargeMsgBytes)
+		addrs, aerr := t.AddressInit(ctx, buf)
+		if aerr != nil {
+			err = aerr
+			return
+		}
+		if t.Self() == 0 {
+			crossover = t.RndvCrossover()
+			src := make([]byte, tcpLargeMsgBytes)
+			for i := 0; i < 8; i++ { // warm pools, regions, registration cache
+				t.PutSync(ctx, 1, addrs[1], src, lapi.NoCounter)
+			}
+			px.Exclusive(func() {
+				allocsPerMsg = testing.AllocsPerRun(allocRuns, func() {
+					t.PutSync(ctx, 1, addrs[1], src, lapi.NoCounter)
+				})
+			})
+			start := time.Now() //lapivet:ignore simdeterminism wall-clock harness benchmark; real-TCP path never runs simulated
+			for i := 0; i < msgs; i++ {
+				t.PutSync(ctx, 1, addrs[1], src, lapi.NoCounter)
+			}
+			elapsed = time.Since(start) //lapivet:ignore simdeterminism wall-clock harness benchmark
+		}
+		t.Gfence(ctx)
+	})
+	return elapsed, allocsPerMsg, crossover, err
 }
 
 // simPutAllocs measures steady-state allocations per synchronous 4-byte

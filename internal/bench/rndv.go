@@ -1,0 +1,88 @@
+// rndv.go sweeps the eager/rendezvous crossover: the same large-message
+// Put bandwidth experiment as Figure 2's LAPI series, run once with each
+// protocol regime pinned and once on the auto-tuned default, so the
+// crossover the two-regime protocol buys (DESIGN.md §12) is visible as the
+// point where the rndv column overtakes the eager column.
+package bench
+
+import (
+	"fmt"
+
+	"golapi/internal/lapi"
+	"golapi/internal/parallel"
+)
+
+// RndvPoint is one x-position of the crossover sweep: one-way LAPI Put
+// bandwidth in MB/s at a given size, with the protocol regime forced to
+// eager, forced to rendezvous, and left on the auto-tuned crossover.
+type RndvPoint struct {
+	Size  int
+	Eager float64 // RndvLimit = -1: every message chunked through pooled buffers
+	Rndv  float64 // RndvLimit = 1: every message RTS/CTS + direct placement
+	Auto  float64 // RndvLimit = 0: the task picks (rndvAutoSim on this config)
+}
+
+// RndvSweepSizes spans the crossover region: 16 KB (deep in eager
+// territory, where the RTS/CTS round trip dominates) to 2 MB (link-limited,
+// where the smaller direct-lane header wins).
+func RndvSweepSizes() []int {
+	var sizes []int
+	for s := 16 << 10; s <= 2<<20; s *= 2 {
+		sizes = append(sizes, s)
+	}
+	return sizes
+}
+
+// MeasureRndvSweep runs the crossover sweep on the simulated switch. Every
+// (size, regime) pair is an independent two-task simulation fanned out on
+// px's workers (nil runs serially); results land in their input slots, so
+// serial and parallel sweeps are byte-identical.
+func MeasureRndvSweep(px *parallel.Executor, sizes []int) ([]RndvPoint, error) {
+	eagerCfg := lapi.DefaultConfig()
+	eagerCfg.RndvLimit = -1
+	rndvCfg := lapi.DefaultConfig()
+	rndvCfg.RndvLimit = 1
+	autoCfg := lapi.DefaultConfig()
+
+	points := make([]RndvPoint, len(sizes))
+	for i, s := range sizes {
+		points[i].Size = s
+	}
+	err := parallel.ForEach(px, 3*len(sizes), func(j int) error {
+		i, series := j/3, j%3
+		var err error
+		switch series {
+		case 0:
+			points[i].Eager, err = lapiBandwidthCfg(sizes[i], eagerCfg)
+		case 1:
+			points[i].Rndv, err = lapiBandwidthCfg(sizes[i], rndvCfg)
+		default:
+			points[i].Auto, err = lapiBandwidthCfg(sizes[i], autoCfg)
+		}
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// FormatRndv renders the crossover sweep as columns.
+func FormatRndv(points []RndvPoint) string {
+	s := "Eager/rendezvous crossover: LAPI one-way Put bandwidth [MB/s]\n"
+	s += fmt.Sprintf("%-10s %10s %10s %10s\n", "size[B]", "eager", "rndv", "auto")
+	for _, p := range points {
+		s += fmt.Sprintf("%-10d %10.1f %10.1f %10.1f\n", p.Size, p.Eager, p.Rndv, p.Auto)
+	}
+	return s
+}
+
+// CSVRndv renders the crossover sweep as CSV (byte-diffable by the
+// determinism gate).
+func CSVRndv(points []RndvPoint) string {
+	s := "size_bytes,eager_mbs,rndv_mbs,auto_mbs\n"
+	for _, p := range points {
+		s += fmt.Sprintf("%d,%.2f,%.2f,%.2f\n", p.Size, p.Eager, p.Rndv, p.Auto)
+	}
+	return s
+}

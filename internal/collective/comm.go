@@ -120,6 +120,11 @@ type Comm struct {
 	// mailbox half and counter set, so a rank racing one call ahead
 	// writes regions the laggard is not still consuming.
 	seq uint64
+
+	// orgCntr serializes rendezvous puts: above the crossover LAPI borrows
+	// the payload until the direct send drains, so put blocks on this
+	// counter before handing the buffer back to the schedule.
+	orgCntr *lapi.Counter
 }
 
 // ceilLog2 returns the smallest L with 1<<L >= n.
@@ -156,6 +161,7 @@ func New(ctx exec.Context, t *lapi.Task, cfg Config) (*Comm, error) {
 	for i := 0; i < 2*c.steps; i++ {
 		c.cntrs = append(c.cntrs, t.NewCounter())
 	}
+	c.orgCntr = t.NewCounter() // after the arrival counters, same order on every rank
 	c.mbBase = t.Alloc(2 * c.slots * cfg.MaxBytes)
 	ctl := t.Alloc(8)
 	var err error
@@ -208,15 +214,25 @@ func (c *Comm) localSlot(slot, off, n int) []byte {
 	return c.t.MustBytes(c.slotAddr(c.rank, slot, off), n)
 }
 
-// put lands data in a peer's mailbox slot and rings its step counter. The
-// payload is captured synchronously by LAPI (packets carry copies), so the
-// caller may reuse data as soon as put returns.
+// put lands data in a peer's mailbox slot and rings its step counter.
+// Below the rendezvous crossover the payload is captured synchronously by
+// LAPI (packets carry copies), so the caller may reuse data as soon as put
+// returns. At or above the crossover LAPI borrows the buffer until the
+// direct send drains, so put waits on the origin counter to preserve the
+// same reuse contract for every size.
 func (c *Comm) put(ctx exec.Context, tgt, slot, off int, data []byte, step int) error {
 	if len(data) == 0 {
 		// Ring schedules on short vectors produce empty segments; the
 		// peer still waits on the step counter, so send a data-less Put
 		// that only rings it.
 		return c.t.Put(ctx, tgt, lapi.AddrNil, nil, c.remoteCntr(step), nil, nil)
+	}
+	if x := c.t.RndvCrossover(); x > 0 && len(data) >= x {
+		if err := c.t.Put(ctx, tgt, c.slotAddr(tgt, slot, off), data, c.remoteCntr(step), c.orgCntr, nil); err != nil {
+			return err
+		}
+		c.t.Waitcntr(ctx, c.orgCntr, 1)
+		return nil
 	}
 	return c.t.Put(ctx, tgt, c.slotAddr(tgt, slot, off), data, c.remoteCntr(step), nil, nil)
 }

@@ -56,6 +56,15 @@ func (r *RealRuntime) PostPacket(fn func(src int, data []byte), src int, data []
 	fn(src, data)
 }
 
+// PostDone runs fn(src, token) serialized — the direct-lane completion
+// shape (see fabric.Transport.SetDirectDone). Like PostPacket it avoids a
+// per-completion closure allocation on the transport's read loop.
+func (r *RealRuntime) PostDone(fn func(src int, token uint64), src int, token uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn(src, token)
+}
+
 // PostArg runs fn(arg) serialized. Like PostPacket it exists for hot paths
 // that would otherwise allocate a closure per call: fn is bound once by the
 // caller and arg rides in the interface word (pointer payloads do not

@@ -28,6 +28,12 @@ type Contract struct {
 	// transport once written to the wire, so a steady-state sender
 	// allocates nothing. Send always takes ownership either way.
 	PooledSend bool
+	// Direct means the transport implements the zero-copy lane
+	// (SendDirect/RecvInto): payload bytes move straight between the
+	// caller's slices with no intermediate pool buffer on either side.
+	// When false those methods are inert stubs and protocol layers must
+	// stay on the eager Send path for every size.
+	Direct bool
 }
 
 // Transport is one task's endpoint on the interconnect.
@@ -77,6 +83,37 @@ type Transport interface {
 	Release(pkt []byte)
 	// Contract reports the transport's buffer-ownership behaviour.
 	Contract() Contract
+
+	// The three methods below form the zero-copy lane used by the
+	// rendezvous (RTS/CTS) protocol for large messages. They are live only
+	// when Contract().Direct is true; otherwise they are stubs and callers
+	// must not use them.
+
+	// SendDirect queues payload for dst on the zero-copy lane. Unlike
+	// Send, the transport BORROWS payload — the caller must not write to
+	// it until sent fires (serialized on the endpoint's runtime, at the
+	// point the bytes have fully left this endpoint). The receiver must
+	// have pre-posted a landing region for (this endpoint, token) via
+	// RecvInto covering len(payload) bytes; delivery bypasses the deliver
+	// upcall entirely and completes through the SetDirectDone callback on
+	// the receiving side. payload may exceed MaxPacket: the transport
+	// fragments internally without copying. ctx follows the same rules as
+	// Send.
+	SendDirect(ctx exec.Context, dst int, token uint64, payload []byte, sent func())
+	// RecvInto pre-posts buf as the landing region for a direct transfer
+	// identified by (src, token). Incoming SendDirect bytes for that pair
+	// land straight in buf; when len(buf) bytes have arrived the region is
+	// retired and the SetDirectDone callback fires with (src, token). The
+	// buffer is borrowed by the transport until then. Tokens must be
+	// unique per (src, token) among outstanding regions. Must be called
+	// before the matching SendDirect's bytes can arrive (protocols order
+	// this via their control handshake).
+	RecvInto(src int, token uint64, buf []byte)
+	// SetDirectDone installs the completion upcall for direct transfers,
+	// invoked — serialized on the endpoint's runtime — once per retired
+	// landing region. Must be set before the first RecvInto.
+	SetDirectDone(fn func(src int, token uint64))
+
 	// Close releases transport resources.
 	Close() error
 }

@@ -60,6 +60,43 @@ func rudeClient(t *testing.T, addr string, ah, ch uint32, burst int) {
 	// defer closes the conn with responses still in flight.
 }
 
+// rudeLargeClient is rudeClient at rendezvous scale: pipelined 32 KB Puts
+// and same-sized Gets (whose responses it never reads), then an abrupt
+// hangup — possibly mid-frame. Large requests ride the RTS/CTS direct
+// lane between ranks, so this exercises session teardown with zero-copy
+// transfers still in flight.
+func rudeLargeClient(t *testing.T, addr string, ah uint32, burst int) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	const count = 4096 // elements: 32 KB payload, the mesh's RndvLimit
+	buf := make([]byte, proto.HeaderSize+count*8)
+	h := proto.ReqHeader{Op: proto.OpHello, Seq: 1}
+	proto.PutReqHeader(buf, &h)
+	if _, err := conn.Write(buf[:proto.HeaderSize]); err != nil {
+		return
+	}
+	for i := 0; i < burst; i++ {
+		h = proto.ReqHeader{Seq: uint32(i + 2), Handle: ah, Row: uint32(i % 8), Col: uint32(i%2) * count, Count: count}
+		if i%2 == 0 {
+			h.Op = proto.OpPut
+			h.Plen = count * 8
+			proto.PutReqHeader(buf, &h)
+			for j := 0; j < count; j++ {
+				binary.BigEndian.PutUint64(buf[proto.HeaderSize+j*8:], math.Float64bits(float64(i+j)))
+			}
+			conn.Write(buf)
+		} else {
+			h.Op = proto.OpGet
+			proto.PutReqHeader(buf, &h)
+			conn.Write(buf[:proto.HeaderSize])
+		}
+	}
+}
+
 func TestSessionChurn(t *testing.T) {
 	srv := startGateway(t, 2)
 
@@ -119,6 +156,88 @@ func TestSessionChurn(t *testing.T) {
 	}
 	if _, st, err := c.ReadInc(ch, 1); err != nil || st != proto.StatusOK {
 		t.Fatalf("readinc after churn: %v %v", st, err)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.InflightFrames() != 0 {
+		t.Fatalf("%d pooled frames held after close", srv.InflightFrames())
+	}
+}
+
+// TestSessionChurnLargePayloads is the churn wave at rendezvous scale:
+// clients blast pipelined 32 KB Puts/Gets — large enough that the mesh
+// runs them over RTS/CTS direct placement — and vanish without reading
+// responses. The gateway must shed every session with zero-copy transfers
+// mid-flight: no wedged dispatchers, no pooled-frame leaks, and correct
+// service afterwards.
+func TestSessionChurnLargePayloads(t *testing.T) {
+	srv := startGateway(t, 2)
+
+	ctl, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ah, st, err := ctl.CreateArray("churn.B", 8, 8192)
+	if err != nil || st != proto.StatusOK {
+		t.Fatalf("create: %v %v", st, err)
+	}
+	ctl.Close()
+
+	baseline := runtime.NumGoroutine()
+	const waves, perWave, burst = 3, 6, 8
+	for w := 0; w < waves; w++ {
+		done := make(chan struct{}, perWave)
+		for i := 0; i < perWave; i++ {
+			go func() {
+				defer func() { done <- struct{}{} }()
+				rudeLargeClient(t, srv.Addr(), ah, burst)
+			}()
+		}
+		for i := 0; i < perWave; i++ {
+			<-done
+		}
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if srv.Sessions() == 0 && srv.InflightFrames() == 0 &&
+			runtime.NumGoroutine() <= baseline {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("gateway did not quiesce after large-payload churn: sessions=%d frames=%d goroutines=%d (baseline %d)",
+				srv.Sessions(), srv.InflightFrames(), runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if srv.RndvMsgs() == 0 {
+		t.Fatalf("large-payload churn ran entirely eager — rendezvous limit not wired into the mesh")
+	}
+
+	// A polite client must still get exact data through the same path.
+	c, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = float64(i) + 0.5
+	}
+	if st, err := c.Put(ah, 1, 4096, vals); err != nil || st != proto.StatusOK {
+		t.Fatalf("put after churn: %v %v", st, err)
+	}
+	out := make([]float64, 4096)
+	if st, err := c.Get(ah, 1, 4096, out); err != nil || st != proto.StatusOK {
+		t.Fatalf("get after churn: %v %v", st, err)
+	}
+	for i := range vals {
+		if out[i] != vals[i] {
+			t.Fatalf("large round-trip after churn corrupted at %d: got %g want %g", i, out[i], vals[i])
+		}
 	}
 
 	if err := srv.Close(); err != nil {

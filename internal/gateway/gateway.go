@@ -38,6 +38,7 @@ import (
 	"golapi/internal/exec"
 	"golapi/internal/ga"
 	"golapi/internal/lapi"
+	"golapi/internal/stats"
 )
 
 // Config parameterizes a gateway.
@@ -110,7 +111,14 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CreateBacklog <= 0 {
 		cfg.CreateBacklog = DefaultConfig().CreateBacklog
 	}
-	job, err := cluster.NewTCPLAPI(cfg.Ranks, lapi.ZeroCost())
+	// A gateway payload tops out at proto.MaxPayload (~64 KB), below the
+	// TCP transport's auto crossover (2×MaxPacket = 128 KB) — so pin the
+	// rendezvous limit at 32 KB: the upper half of the request size range
+	// rides the zero-copy direct lane instead of being chunked through
+	// pooled buffers.
+	lcfg := lapi.ZeroCost()
+	lcfg.RndvLimit = 32 << 10
+	job, err := cluster.NewTCPLAPI(cfg.Ranks, lcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -173,6 +181,18 @@ func (srv *Server) InflightFrames() int64 { return srv.frames.Load() }
 // MeshServed returns the collective sum of per-rank served counts,
 // aggregated with an Allreduce at shutdown. Valid after Close.
 func (srv *Server) MeshServed() int64 { return srv.meshServed }
+
+// RndvMsgs sums, across the mesh, the messages that took the rendezvous
+// path (RTS/CTS handshake + zero-copy direct placement) instead of being
+// chunked through pooled buffers. Tests use it to prove large gateway
+// transfers actually engage the protocol.
+func (srv *Server) RndvMsgs() int64 {
+	var n int64
+	for _, t := range srv.job.Tasks {
+		n += t.Counters.Get(stats.RndvMsgs)
+	}
+	return n
+}
 
 func (srv *Server) acceptLoop() {
 	defer srv.srvWG.Done()

@@ -1,0 +1,69 @@
+package gateway_test
+
+// Large-transfer protocol test: gateway Puts/Gets at or above the mesh's
+// 32 KB rendezvous limit must ride the RTS/CTS zero-copy path between
+// ranks, and the data must still round-trip exactly. The server's
+// RndvMsgs counter (summed rndv_msgs across ranks) proves the protocol
+// actually engaged — a silent fallback to eager would pass a pure
+// data-correctness test.
+
+import (
+	"testing"
+
+	"golapi/internal/gateway/client"
+	"golapi/internal/gateway/proto"
+)
+
+func TestGatewayLargeTransfersUseRendezvous(t *testing.T) {
+	srv := startGateway(t, 2)
+	c, err := client.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// 8 x 8192 on a 2-rank grid: each rank owns a 4096-wide block of
+	// every row. Writing both halves of a row guarantees one 32 KB
+	// segment is wholly remote from the session's home rank, whichever
+	// rank the session landed on.
+	const half = 4096 // elements; 32 KB of float64s = the gateway RndvLimit
+	ah, st, err := c.CreateArray("rndv.A", 8, 2*half)
+	if err != nil || st != proto.StatusOK {
+		t.Fatalf("create: %v %v", st, err)
+	}
+
+	lo := make([]float64, half)
+	hi := make([]float64, half)
+	for i := range lo {
+		lo[i] = float64(i)
+		hi[i] = float64(i) * -2
+	}
+	if st, err := c.Put(ah, 3, 0, lo); err != nil || st != proto.StatusOK {
+		t.Fatalf("put lo: %v %v", st, err)
+	}
+	if st, err := c.Put(ah, 3, half, hi); err != nil || st != proto.StatusOK {
+		t.Fatalf("put hi: %v %v", st, err)
+	}
+	afterPut := srv.RndvMsgs()
+	if afterPut == 0 {
+		t.Fatalf("32 KB cross-rank Puts issued, rndv_msgs still 0 — rendezvous path not engaged")
+	}
+
+	outLo := make([]float64, half)
+	outHi := make([]float64, half)
+	if st, err := c.Get(ah, 3, 0, outLo); err != nil || st != proto.StatusOK {
+		t.Fatalf("get lo: %v %v", st, err)
+	}
+	if st, err := c.Get(ah, 3, half, outHi); err != nil || st != proto.StatusOK {
+		t.Fatalf("get hi: %v %v", st, err)
+	}
+	if srv.RndvMsgs() <= afterPut {
+		t.Fatalf("32 KB cross-rank Gets issued, rndv_msgs stuck at %d — rendezvous Get not engaged", afterPut)
+	}
+	for i := range lo {
+		if outLo[i] != lo[i] || outHi[i] != hi[i] {
+			t.Fatalf("rendezvous round-trip corrupted at %d: got (%g,%g) want (%g,%g)",
+				i, outLo[i], outHi[i], lo[i], hi[i])
+		}
+	}
+}

@@ -122,12 +122,14 @@ func (t *Task) Amsend(ctx exec.Context, tgt int, hdl HandlerID, uhdr, udata []by
 	for off := firstData; off < total; off += p {
 		npkts++
 	}
-	remaining := npkts
 	var onWire func()
 	if !internal && om.orgCntr != nil {
 		// Capture the counter, not om: om may be recycled by an early ack
-		// before the transport reports the last packet drained.
+		// before the transport reports the last packet drained. remaining
+		// lives inside the branch so the buffered path never pays its heap
+		// move (see sendChunked).
 		org := om.orgCntr
+		remaining := npkts
 		onWire = func() {
 			remaining--
 			if remaining == 0 {

@@ -97,6 +97,22 @@ type Config struct {
 	// messages ... and returns immediately", §5.3.1). Larger sends are
 	// zero-copy and the origin counter fires when the adapter drains.
 	InternalBufferLimit int
+
+	// RndvLimit is the eager/rendezvous crossover: Puts and Gets of at
+	// least this many bytes switch from the eager path (chunked through
+	// pooled transport buffers) to the RTS/CTS rendezvous protocol with
+	// direct placement between user buffers (DESIGN.md §12). 0 auto-tunes
+	// at task creation (see Task.RndvCrossover); a negative value disables
+	// rendezvous entirely (every message stays eager). Rendezvous also
+	// requires the transport's direct lane (fabric.Contract.Direct);
+	// without it the limit resolves to disabled.
+	RndvLimit int
+	// RegisterCost is the CPU cost of pinning and registering a target
+	// memory region on a registration-cache miss (the rendezvous analogue
+	// of the InfiniBand memory-registration cost the MPICH2 design caches
+	// away). Charged to the dispatcher handling the RTS (or rendezvous
+	// Get request); cache hits are free.
+	RegisterCost time.Duration
 }
 
 // DefaultConfig returns the calibration from DESIGN.md §5. Combined with
@@ -114,6 +130,7 @@ func DefaultConfig() Config {
 		InterruptCost:       24 * time.Microsecond,
 		MemcpyBandwidth:     800e6,
 		InternalBufferLimit: 1024,
+		RegisterCost:        40 * time.Microsecond,
 	}
 }
 

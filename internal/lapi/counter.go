@@ -22,6 +22,10 @@ type Counter struct {
 	value int
 	cond  exec.Cond
 	task  *Task
+	// fn is the incr method value, bound once at creation so hot paths
+	// that hand a completion callback to the transport (rendezvous sends)
+	// do not allocate a closure per operation.
+	fn func()
 }
 
 // RemoteCounter names a counter on another task. The zero value
@@ -39,8 +43,18 @@ func (t *Task) NewCounter() *Counter {
 		cond: t.rt.NewCond(),
 		task: t,
 	}
+	c.fn = c.incr
 	t.counters = append(t.counters, c)
 	return c
+}
+
+// incrFn returns the counter's pre-bound increment callback (nil for a nil
+// counter), for handing to transport completion hooks without allocating.
+func (c *Counter) incrFn() func() {
+	if c == nil {
+		return nil
+	}
+	return c.fn
 }
 
 // ID returns the counter's remote name; pass it to another task as the

@@ -12,6 +12,11 @@ import (
 // flag bits in the wire header's aux field for data-carrying operations.
 const (
 	auxWantCmpl uint64 = 1 << 63 // origin asked for a completion ack
+	// auxRndvGet marks a ptGetReq whose reply must use the rendezvous
+	// direct lane: the origin has already pre-posted its buffer under
+	// getToken(msgID), so the target streams straight into it instead of
+	// sending ptGetData packets.
+	auxRndvGet uint64 = 1 << 62
 )
 
 // Put copies data into target memory at tgtAddr (LAPI_Put). It is
@@ -37,12 +42,18 @@ func (t *Task) Put(ctx exec.Context, tgt int, tgtAddr Addr, data []byte, tgtCntr
 
 	t.msgSeq++
 	id := t.msgSeq
-	t.tracef(trace.KindOp, "put %dB -> %d (msg %d)", len(data), tgt, id)
+	if t.cfg.Tracer != nil {
+		t.tracef(trace.KindOp, "put %dB -> %d (msg %d)", len(data), tgt, id)
+	}
 	om := t.newOutMsg()
 	om.kind, om.dst, om.orgCntr, om.cmplCntr = ptPutData, tgt, org, cmpl
 	t.outMsgs[id] = om
 	t.outstanding++
 
+	if t.rndvEligible(len(data)) {
+		t.putRndv(ctx, tgt, tgtAddr, data, tgtCntr, om, id)
+		return nil
+	}
 	t.sendChunked(ctx, tgt, data, om, header{
 		typ:      ptPutData,
 		msgID:    id,
@@ -72,18 +83,28 @@ func (t *Task) Get(ctx exec.Context, tgt int, tgtAddr Addr, buf []byte, tgtCntr 
 
 	t.msgSeq++
 	id := t.msgSeq
-	t.tracef(trace.KindOp, "get %dB <- %d (msg %d)", len(buf), tgt, id)
+	if t.cfg.Tracer != nil {
+		t.tracef(trace.KindOp, "get %dB <- %d (msg %d)", len(buf), tgt, id)
+	}
 	om := t.newOutMsg()
 	om.kind, om.dst, om.orgCntr, om.getBuf = ptGetReq, tgt, org, buf
 	t.outMsgs[id] = om
 	t.outstanding++
 
+	var aux uint64
+	if t.rndvEligible(len(buf)) {
+		// Pre-post the landing region before the request leaves: by the
+		// time the target serves it, direct placement is already armed.
+		t.getRndv(tgt, buf, om, id)
+		aux = auxRndvGet
+	}
 	t.sendControl(ctx, tgt, header{
 		typ:      ptGetReq,
 		msgID:    id,
 		totalLen: uint32(len(buf)),
 		addr:     uint64(tgtAddr),
 		cntrA:    uint32(tgtCntr),
+		aux:      aux,
 	})
 	return nil
 }
@@ -126,12 +147,14 @@ func (t *Task) sendChunked(ctx exec.Context, tgt int, data []byte, om *outMsg, h
 		npkts = 1
 	}
 
-	remaining := npkts
 	var onWire func()
 	if !internal && om.orgCntr != nil {
 		// Capture the counter, not om: om may be recycled by an early ack
-		// before the transport reports the last packet drained.
+		// before the transport reports the last packet drained. remaining
+		// is declared inside the branch so its heap move (it outlives the
+		// frame via the closure) is never charged to the buffered path.
 		org := om.orgCntr
+		remaining := npkts
 		onWire = func() {
 			remaining--
 			if remaining == 0 {
@@ -194,6 +217,10 @@ func (t *Task) handlePutData(src int, h header, payload []byte) {
 // Injection costs are charged to the dispatcher (target CPU), which is part
 // of why Get latency exceeds Put latency.
 func (t *Task) handleGetReq(ctx exec.Context, src int, h header) {
+	if h.aux&auxRndvGet != 0 {
+		t.handleGetReqRndv(ctx, src, h)
+		return
+	}
 	n := int(h.totalLen)
 	var data []byte
 	if n > 0 {
@@ -349,7 +376,9 @@ func (t *Task) Rmw(ctx exec.Context, op RmwOp, tgt int, tgtVar Addr, inVal, comp
 
 	t.msgSeq++
 	id := t.msgSeq
-	t.tracef(trace.KindOp, "rmw %v -> %d (msg %d)", op, tgt, id)
+	if t.cfg.Tracer != nil {
+		t.tracef(trace.KindOp, "rmw %v -> %d (msg %d)", op, tgt, id)
+	}
 	om := t.newOutMsg()
 	om.kind, om.dst, om.orgCntr, om.rmwPrev = ptRmwReq, tgt, org, prev
 	t.outMsgs[id] = om

@@ -1,0 +1,364 @@
+package lapi_test
+
+// Boundary and protocol-selection tests for the eager/rendezvous split
+// (DESIGN.md §12): sizes straddling the packet-payload boundary and the
+// crossover itself, mixed traffic on one endpoint pair, rendezvous under
+// adverse fabric conditions, and the bit-identity guarantee that
+// sub-crossover traffic is untouched by the protocol machinery. The
+// *TCP* tests run the same ladder over real sockets (and under -race via
+// the Makefile's race target).
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"golapi/internal/cluster"
+	"golapi/internal/exec"
+	"golapi/internal/lapi"
+	"golapi/internal/stats"
+	"golapi/internal/switchnet"
+)
+
+// fillPattern writes a size-dependent deterministic pattern.
+func fillPattern(b []byte, seed int) {
+	for i := range b {
+		b[i] = byte(i*31 + seed*7 + 1)
+	}
+}
+
+// putGetOnce Puts size bytes 0→1, then Gets them back 1→0, verifying both
+// directions and returning rank 0's rendezvous-message count.
+func putGetOnce(t *testing.T, lcfg lapi.Config, size int) int64 {
+	t.Helper()
+	var rndv int64
+	c, err := cluster.NewSim(2, switchnet.DefaultConfig(), lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = c.Run(func(ctx exec.Context, lt *lapi.Task) {
+		buf := lt.Alloc(size + 1)
+		addrs, _ := lt.AddressInit(ctx, buf)
+		if lt.Self() == 0 {
+			data := make([]byte, size)
+			fillPattern(data, size)
+			cmpl := lt.NewCounter()
+			if err := lt.Put(ctx, 1, addrs[1], data, lapi.NoCounter, nil, cmpl); err != nil {
+				t.Error(err)
+				return
+			}
+			lt.Waitcntr(ctx, cmpl, 1)
+
+			back := make([]byte, size)
+			org := lt.NewCounter()
+			if err := lt.Get(ctx, 1, addrs[1], back, lapi.NoCounter, org); err != nil {
+				t.Error(err)
+				return
+			}
+			lt.Waitcntr(ctx, org, 1)
+			want := make([]byte, size)
+			fillPattern(want, size)
+			if !bytes.Equal(back, want) {
+				t.Errorf("size %d: Get round-trip corrupted", size)
+			}
+			rndv = lt.Counters.Get(stats.RndvMsgs)
+		}
+		lt.Gfence(ctx)
+		if lt.Self() == 1 && size > 0 {
+			got := lt.MustBytes(buf, size)
+			want := make([]byte, size)
+			fillPattern(want, size)
+			if !bytes.Equal(got, want) {
+				t.Errorf("size %d: Put landed corrupted", size)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rndv
+}
+
+// TestRndvBoundarySizes walks sizes straddling the single-packet payload
+// boundary and an explicit crossover: below the limit both ops must stay
+// eager (rndv_msgs 0), at and above it both must rendezvous (one Put + one
+// Get = 2).
+func TestRndvBoundarySizes(t *testing.T) {
+	scfg := switchnet.DefaultConfig()
+	lcfg := lapi.DefaultConfig()
+	const limit = 4096
+	lcfg.RndvLimit = limit
+	maxPayload := scfg.PacketBytes - lcfg.HeaderBytes
+
+	cases := []struct {
+		size     int
+		wantRndv int64
+	}{
+		{maxPayload - 1, 0}, // fits one packet with room
+		{maxPayload, 0},     // exactly one packet
+		{maxPayload + 1, 0}, // first size needing a second packet
+		{limit - 1, 0},      // last eager size
+		{limit, 2},          // first rendezvous size (Put + Get)
+		{limit + 1, 2},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("size=%d", tc.size), func(t *testing.T) {
+			if got := putGetOnce(t, lcfg, tc.size); got != tc.wantRndv {
+				t.Errorf("size %d: rndv_msgs = %d, want %d", tc.size, got, tc.wantRndv)
+			}
+		})
+	}
+}
+
+// TestRndvMixedTrafficOneEndpointPair interleaves eager and rendezvous
+// operations on the same endpoint pair — regressions here mean the direct
+// lane and the packet lane interfere (shared sequence space, misrouted
+// completions, stuck pools).
+func TestRndvMixedTrafficOneEndpointPair(t *testing.T) {
+	lcfg := lapi.DefaultConfig()
+	lcfg.RndvLimit = 2048
+	const small, large, rounds = 256, 8192, 6
+	runCfg(t, 2, switchnet.DefaultConfig(), lcfg, func(ctx exec.Context, lt *lapi.Task) {
+		buf := lt.Alloc((small + large) * rounds)
+		addrs, _ := lt.AddressInit(ctx, buf)
+		if lt.Self() == 0 {
+			cmpl := lt.NewCounter()
+			off := 0
+			for r := 0; r < rounds; r++ {
+				sm := make([]byte, small)
+				lg := make([]byte, large)
+				fillPattern(sm, 2*r)
+				fillPattern(lg, 2*r+1)
+				if err := lt.Put(ctx, 1, addrs[1]+lapi.Addr(off), sm, lapi.NoCounter, nil, cmpl); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := lt.Put(ctx, 1, addrs[1]+lapi.Addr(off+small), lg, lapi.NoCounter, nil, cmpl); err != nil {
+					t.Error(err)
+					return
+				}
+				off += small + large
+			}
+			lt.Waitcntr(ctx, cmpl, 2*rounds)
+			if got := lt.Counters.Get(stats.RndvMsgs); got != rounds {
+				t.Errorf("rndv_msgs = %d, want %d (one per large Put)", got, rounds)
+			}
+		}
+		lt.Gfence(ctx)
+		if lt.Self() == 1 {
+			off := 0
+			for r := 0; r < rounds; r++ {
+				wantSm := make([]byte, small)
+				wantLg := make([]byte, large)
+				fillPattern(wantSm, 2*r)
+				fillPattern(wantLg, 2*r+1)
+				if !bytes.Equal(lt.MustBytes(buf+lapi.Addr(off), small), wantSm) {
+					t.Errorf("round %d: eager payload corrupted", r)
+				}
+				if !bytes.Equal(lt.MustBytes(buf+lapi.Addr(off+small), large), wantLg) {
+					t.Errorf("round %d: rendezvous payload corrupted", r)
+				}
+				off += small + large
+			}
+		}
+	})
+}
+
+// TestRndvDataIntegrityUnderReorderAndLoss forces every transfer onto the
+// rendezvous path and runs it over a fabric that reorders and drops: the
+// direct lane's fragments ride the same seq/ack/retransmit machinery as
+// packets, so the payload must still land exactly.
+func TestRndvDataIntegrityUnderReorderAndLoss(t *testing.T) {
+	scfg := switchnet.DefaultConfig()
+	scfg.ReorderEvery = 3
+	scfg.DropEvery = 7
+	lcfg := lapi.DefaultConfig()
+	lcfg.RndvLimit = 1 // every non-empty transfer rendezvous
+	const size = 30_000
+	runCfg(t, 2, scfg, lcfg, func(ctx exec.Context, lt *lapi.Task) {
+		buf := lt.Alloc(size)
+		addrs, _ := lt.AddressInit(ctx, buf)
+		if lt.Self() == 0 {
+			data := make([]byte, size)
+			fillPattern(data, 3)
+			cmpl := lt.NewCounter()
+			lt.Put(ctx, 1, addrs[1], data, lapi.NoCounter, nil, cmpl)
+			lt.Waitcntr(ctx, cmpl, 1)
+			back := make([]byte, size)
+			org := lt.NewCounter()
+			lt.Get(ctx, 1, addrs[1], back, lapi.NoCounter, org)
+			lt.Waitcntr(ctx, org, 1)
+			if !bytes.Equal(back, data) {
+				t.Error("rendezvous Get corrupted under reorder+loss")
+			}
+		}
+		lt.Gfence(ctx)
+		if lt.Self() == 1 {
+			want := make([]byte, size)
+			fillPattern(want, 3)
+			if !bytes.Equal(lt.MustBytes(buf, size), want) {
+				t.Error("rendezvous Put corrupted under reorder+loss")
+			}
+		}
+	})
+}
+
+// TestRndvSubCrossoverVirtualTimeBitIdentical is the determinism guarantee
+// the bench gate relies on: below the crossover the protocol machinery
+// must not perturb the simulation by a single tick, so a sub-crossover
+// workload's virtual finish time is bit-identical with rendezvous enabled
+// (default) and disabled (-1).
+func TestRndvSubCrossoverVirtualTimeBitIdentical(t *testing.T) {
+	workload := func(lcfg lapi.Config) int64 {
+		t.Helper()
+		c, err := cluster.NewSim(2, switchnet.DefaultConfig(), lcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = c.Run(func(ctx exec.Context, lt *lapi.Task) {
+			buf := lt.Alloc(128 << 10)
+			addrs, _ := lt.AddressInit(ctx, buf)
+			if lt.Self() == 0 {
+				cmpl := lt.NewCounter()
+				n := 0
+				for _, size := range []int{4, 976, 977, 4096, 32 << 10, 128 << 10} { // all < rndvAutoSim (256 KB)
+					data := make([]byte, size)
+					fillPattern(data, size)
+					lt.Put(ctx, 1, addrs[1], data, lapi.NoCounter, nil, cmpl)
+					n++
+				}
+				lt.Waitcntr(ctx, cmpl, n)
+				if got := lt.Counters.Get(stats.RndvMsgs); got != 0 {
+					t.Errorf("sub-crossover workload took the rendezvous path %d times", got)
+				}
+			}
+			lt.Gfence(ctx)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int64(c.Now())
+	}
+
+	auto := workload(lapi.DefaultConfig())
+	eagerCfg := lapi.DefaultConfig()
+	eagerCfg.RndvLimit = -1
+	eager := workload(eagerCfg)
+	if auto != eager {
+		t.Fatalf("sub-crossover virtual time diverged: auto %d ticks, force-eager %d ticks", auto, eager)
+	}
+}
+
+// TestRndvTCPBoundarySizes runs the size ladder over real sockets: the
+// crossover is pinned at 32 KB and sizes straddle both the 64 KB TCP frame
+// cap and the crossover. Data must round-trip exactly and the protocol
+// choice must match the size. (Named *TCP* so `make race` picks it up.)
+func TestRndvTCPBoundarySizes(t *testing.T) {
+	lcfg := lapi.ZeroCost()
+	const limit = 32 << 10
+	lcfg.RndvLimit = limit
+
+	j, err := cluster.NewTCPLAPI(2, lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{limit - 1, limit, limit + 1, (64 << 10) - 1, 64 << 10, (64 << 10) + 1, 1 << 20}
+	var rndvAtOrigin int64
+	err = j.Run(func(ctx exec.Context, lt *lapi.Task) {
+		max := 1 << 20
+		buf := lt.Alloc(max)
+		addrs, _ := lt.AddressInit(ctx, buf)
+		if lt.Self() == 0 {
+			for _, size := range sizes {
+				data := make([]byte, size)
+				fillPattern(data, size)
+				cmpl := lt.NewCounter()
+				if err := lt.Put(ctx, 1, addrs[1], data, lapi.NoCounter, nil, cmpl); err != nil {
+					t.Error(err)
+					return
+				}
+				lt.Waitcntr(ctx, cmpl, 1)
+
+				back := make([]byte, size)
+				org := lt.NewCounter()
+				if err := lt.Get(ctx, 1, addrs[1], back, lapi.NoCounter, org); err != nil {
+					t.Error(err)
+					return
+				}
+				lt.Waitcntr(ctx, org, 1)
+				if !bytes.Equal(back, data) {
+					t.Errorf("TCP size %d: Get round-trip corrupted", size)
+				}
+			}
+			rndvAtOrigin = lt.Counters.Get(stats.RndvMsgs)
+		}
+		lt.Gfence(ctx)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One Put + one Get per size at or above the limit.
+	var want int64
+	for _, size := range sizes {
+		if size >= limit {
+			want += 2
+		}
+	}
+	if rndvAtOrigin != want {
+		t.Fatalf("TCP rndv_msgs = %d, want %d", rndvAtOrigin, want)
+	}
+}
+
+// TestRndvTCPMixedTraffic interleaves eager and rendezvous Puts on one TCP
+// endpoint pair, both directions at once — the -race run of this test is
+// the memory-model check on the direct lane's buffer hand-off.
+func TestRndvTCPMixedTraffic(t *testing.T) {
+	lcfg := lapi.ZeroCost()
+	lcfg.RndvLimit = 32 << 10
+	j, err := cluster.NewTCPLAPI(2, lcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const small, large, rounds = 512, 48 << 10, 8
+	err = j.Run(func(ctx exec.Context, lt *lapi.Task) {
+		buf := lt.Alloc((small + large) * rounds)
+		addrs, _ := lt.AddressInit(ctx, buf)
+		peer := 1 - lt.Self()
+		cmpl := lt.NewCounter()
+		off := 0
+		for r := 0; r < rounds; r++ {
+			sm := make([]byte, small)
+			lg := make([]byte, large)
+			fillPattern(sm, 2*r+lt.Self())
+			fillPattern(lg, 2*r+1+lt.Self())
+			if err := lt.Put(ctx, peer, addrs[peer]+lapi.Addr(off), sm, lapi.NoCounter, nil, cmpl); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := lt.Put(ctx, peer, addrs[peer]+lapi.Addr(off+small), lg, lapi.NoCounter, nil, cmpl); err != nil {
+				t.Error(err)
+				return
+			}
+			off += small + large
+		}
+		lt.Waitcntr(ctx, cmpl, 2*rounds)
+		lt.Gfence(ctx)
+		off = 0
+		for r := 0; r < rounds; r++ {
+			wantSm := make([]byte, small)
+			wantLg := make([]byte, large)
+			fillPattern(wantSm, 2*r+peer)
+			fillPattern(wantLg, 2*r+1+peer)
+			if !bytes.Equal(lt.MustBytes(buf+lapi.Addr(off), small), wantSm) {
+				t.Errorf("rank %d round %d: eager payload corrupted", lt.Self(), r)
+			}
+			if !bytes.Equal(lt.MustBytes(buf+lapi.Addr(off+small), large), wantLg) {
+				t.Errorf("rank %d round %d: rendezvous payload corrupted", lt.Self(), r)
+			}
+			off += small + large
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

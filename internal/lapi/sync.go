@@ -19,8 +19,10 @@ func (t *Task) Probe(ctx exec.Context) { t.poll(ctx) }
 // those.
 func (t *Task) Fence(ctx exec.Context) {
 	t.requireBlockingAllowed("Fence")
-	t.tracef(trace.KindFence, "fence enter, %d outstanding", t.outstanding)
-	defer t.tracef(trace.KindFence, "fence complete")
+	if t.cfg.Tracer != nil {
+		t.tracef(trace.KindFence, "fence enter, %d outstanding", t.outstanding)
+		defer t.tracef(trace.KindFence, "fence complete")
+	}
 	for {
 		t.poll(ctx)
 		if t.outstanding == 0 {

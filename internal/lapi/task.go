@@ -55,6 +55,12 @@ type Task struct {
 	// Target-side reassembly state.
 	inMsgs map[inKey]*inMsg
 
+	// Rendezvous state: the resolved eager/rendezvous crossover (0 =
+	// disabled; see resolveRndvLimit) and the target-side registration
+	// cache.
+	rndvLimit int
+	regCache  regCache
+
 	// Completion-handler thread pool accounting (Config.CompletionThreads).
 	complRunning int
 	complCond    exec.Cond
@@ -90,6 +96,11 @@ type outMsg struct {
 	wantCmpl  bool
 	dataAcked bool
 	cmplAcked bool
+	// Rendezvous state: rndv marks the op as RTS/CTS-negotiated; rndvData
+	// pins the Put payload (borrowed by the caller's contract) from RTS
+	// until the CTS hands it to the transport's direct lane.
+	rndv     bool
+	rndvData []byte
 }
 
 type inKey struct {
@@ -111,6 +122,9 @@ type inMsg struct {
 	stash    []stashed
 	complete CompletionHandler
 	wantCmpl bool
+	// rndv marks a region pre-posted for direct placement: no per-packet
+	// handlePutData runs; completion arrives via handleDirectDone.
+	rndv bool
 }
 
 type stashed struct {
@@ -175,7 +189,9 @@ func NewTask(rt exec.Runtime, tr fabric.Transport, cfg Config) (*Task, error) {
 	t.progress = rt.NewCond()
 	t.complCond = rt.NewCond()
 	t.coll.init(t)
+	t.rndvLimit = resolveRndvLimit(cfg, tr)
 	tr.SetDeliver(t.deliver)
+	tr.SetDirectDone(t.handleDirectDone)
 	rt.Go(fmt.Sprintf("lapi-dispatcher-%d", tr.Self()), t.dispatcherLoop)
 	return t, nil
 }
@@ -338,6 +354,10 @@ func (t *Task) handle(ctx exec.Context, src int, pkt []byte) {
 		t.handleRmwReq(ctx, src, h)
 	case ptRmwRep:
 		t.handleRmwRep(h)
+	case ptRts:
+		t.handleRts(ctx, src, h)
+	case ptCts:
+		t.handleCts(ctx, h)
 	case ptBarrierArrive, ptBarrierGo, ptGatherWord, ptTableChunk:
 		t.coll.handle(ctx, src, h, payload)
 	default:

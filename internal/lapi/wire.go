@@ -22,6 +22,15 @@ const (
 	ptTableChunk // AddressInit: broadcast table chunk
 	ptPutvData   // strided put data (§6 future-work vector interface)
 	ptGetvReq    // strided get request
+	ptRts        // rendezvous request-to-send (origin -> target; large Put)
+	ptCts        // rendezvous clear-to-send (target -> origin; region posted)
+	// ptRndvData tags the rendezvous payload itself. It never transits the
+	// LAPI header path: the payload rides the transport's zero-copy direct
+	// lane (fabric.SendDirect -> RecvInto) straight between user buffers,
+	// framed by the transport's own 12-byte (token, offset) header instead
+	// of this 48-byte one. The constant exists so the wire-type table is
+	// complete and traces can name the lane.
+	ptRndvData
 )
 
 // header is the decoded LAPI packet header. The encoded form occupies
@@ -42,6 +51,8 @@ const (
 //	ptBarrier*: aux=epoch
 //	ptGatherWord: addr2=value, offset=rank, aux=generation
 //	ptTableChunk: offset=start index, totalLen=total words, aux=generation; payload = words
+//	ptRts:      msgID, totalLen, addr=tgtAddr, cntrA=tgt counter at target
+//	ptCts:      msgID
 type header struct {
 	typ      byte
 	handler  uint16

@@ -83,6 +83,9 @@ const (
 	CopiesBytes    = "copy_bytes"
 	HeaderHandlers = "header_handlers"
 	ComplHandlers  = "completion_handlers"
+	RndvMsgs       = "rndv_msgs"       // Puts/Gets routed via RTS/CTS rendezvous
+	RndvRegHits    = "rndv_reg_hits"   // registration-cache hits at the target
+	RndvRegMisses  = "rndv_reg_misses" // registration-cache misses (RegisterCost charged)
 )
 
 // Collective-layer counters (package collective): per-algorithm step,

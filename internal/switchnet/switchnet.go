@@ -176,6 +176,7 @@ func NewSharded(engines []*sim.Engine, n int, cfg Config) (*Switch, error) {
 			shard:   shard,
 			unacked: make(map[uint64]*txPacket),
 			seen:    make([]map[uint64]bool, n),
+			posted:  make(map[directKey]*dregion),
 		}
 		for j := range s.adapters[i].seen {
 			s.adapters[i].seen[j] = make(map[uint64]bool)
@@ -218,6 +219,12 @@ func (s *Switch) Endpoint(rank int) *Adapter {
 	return s.adapters[rank]
 }
 
+// directHdrBytes is the wire header charged per direct-lane fragment
+// (8-byte token + 4-byte offset). Much smaller than the 48-byte LAPI
+// packet header the eager path carries — the per-byte advantage that,
+// against the fixed RTS/CTS round trip, sets the rendezvous crossover.
+const directHdrBytes = 12
+
 // txPacket is a sender-side record of an in-flight packet.
 type txPacket struct {
 	dst     int
@@ -225,6 +232,34 @@ type txPacket struct {
 	data    []byte
 	acked   bool
 	retries int
+	// Direct-lane fragments: data aliases the caller's payload slice
+	// (zero-copy), off is its placement offset in the posted region, and
+	// msg links the fragments of one SendDirect for the all-acked
+	// completion callback.
+	direct bool
+	token  uint64
+	off    uint32
+	msg    *directMsg
+}
+
+// directMsg tracks one SendDirect until every fragment is acknowledged —
+// only then may the caller touch the payload again (a retransmission
+// re-reads the live slice until its ack lands).
+type directMsg struct {
+	remaining int
+	sent      func()
+}
+
+// directKey identifies a pre-posted landing region (see RecvInto).
+type directKey struct {
+	src   int
+	token uint64
+}
+
+// dregion is one pre-posted landing buffer on the receive side.
+type dregion struct {
+	buf   []byte
+	recvd int
 }
 
 // Adapter is one node's attachment to the switch. It provides reliable,
@@ -246,6 +281,9 @@ type Adapter struct {
 	unacked map[uint64]*txPacket // keyed by seq (seqs are globally unique per adapter)
 	seqGen  uint64               // global sequence generator for this adapter
 	seen    []map[uint64]bool    // per-source delivered seqs (dedup of retransmits)
+
+	directDone func(src int, token uint64)
+	posted     map[directKey]*dregion
 }
 
 var _ fabric.Transport = (*Adapter)(nil)
@@ -270,8 +308,80 @@ func (a *Adapter) Alloc(n int) []byte { return make([]byte, n) }
 // Release implements fabric.Transport as a no-op; see Alloc.
 func (a *Adapter) Release(pkt []byte) {}
 
-// Contract implements fabric.Transport: nothing is pooled.
-func (a *Adapter) Contract() fabric.Contract { return fabric.Contract{} }
+// Contract implements fabric.Transport: nothing is pooled, but the
+// zero-copy direct lane is live.
+func (a *Adapter) Contract() fabric.Contract { return fabric.Contract{Direct: true} }
+
+// SetDirectDone implements fabric.Transport.
+func (a *Adapter) SetDirectDone(fn func(src int, token uint64)) { a.directDone = fn }
+
+// RecvInto implements fabric.Transport: posts buf as the landing region
+// for direct fragments from (src, token). Completion (the SetDirectDone
+// upcall) is modeled as adapter DMA — it costs no CPU time on the
+// receiving task.
+func (a *Adapter) RecvInto(src int, token uint64, buf []byte) {
+	fabric.CheckRank(src, len(a.sw.adapters))
+	a.posted[directKey{src: src, token: token}] = &dregion{buf: buf}
+}
+
+// SendDirect implements fabric.Transport: the payload is fragmented into
+// PacketBytes-sized wire packets whose data slices ALIAS the caller's
+// buffer (no copy), each carrying a 12-byte (token, offset) header instead
+// of a protocol packet header. Fragments ride the normal seq/ack/RTO
+// machinery, so drop and reorder injection exercise this path too; because
+// a retransmission re-reads the live payload slice, sent fires only once
+// every fragment has been ACKNOWLEDGED (not merely drained) — the earliest
+// point the buffer can safely change.
+func (a *Adapter) SendDirect(ctx exec.Context, dst int, token uint64, payload []byte, sent func()) {
+	fabric.CheckRank(dst, len(a.sw.adapters))
+	chunk := a.sw.cfg.PacketBytes - directHdrBytes
+	if chunk <= 0 {
+		panic(fmt.Sprintf("switchnet: PacketBytes=%d cannot carry a direct fragment header", a.sw.cfg.PacketBytes))
+	}
+	if dst == a.rank {
+		// Loopback: one copy into the posted region at the next scheduling
+		// point (no wire to elide it on).
+		a.sw.Counters.Add(stats.PacketsSent, 1)
+		a.sw.Counters.Add(stats.BytesSent, int64(len(payload)))
+		a.eng.Schedule(0, func() {
+			k := directKey{src: a.rank, token: token}
+			r := a.posted[k]
+			if r == nil {
+				panic(fmt.Sprintf("switchnet: direct loopback at rank %d with no posted region (token %d)", a.rank, token))
+			}
+			copy(r.buf, payload)
+			delete(a.posted, k)
+			if sent != nil {
+				sent()
+			}
+			if a.directDone != nil {
+				a.directDone(a.rank, token)
+			}
+		})
+		return
+	}
+	nfrag := (len(payload) + chunk - 1) / chunk
+	if nfrag == 0 {
+		nfrag = 1
+	}
+	msg := &directMsg{remaining: nfrag, sent: sent}
+	for off := 0; ; off += chunk {
+		end := off + chunk
+		if end > len(payload) {
+			end = len(payload)
+		}
+		a.seqGen++
+		p := &txPacket{
+			dst: dst, seq: a.seqGen, data: payload[off:end],
+			direct: true, token: token, off: uint32(off), msg: msg,
+		}
+		a.unacked[p.seq] = p
+		a.transmit(p, false, nil)
+		if end >= len(payload) {
+			break
+		}
+	}
+}
 
 // Close implements fabric.Transport.
 func (a *Adapter) Close() error { return nil }
@@ -324,7 +434,11 @@ func (a *Adapter) transmit(p *txPacket, isRetry bool, sent func()) {
 	cfg := a.sw.cfg
 	eng := a.eng
 
-	wire := cfg.wireTime(len(p.data))
+	wireBytes := len(p.data)
+	if p.direct {
+		wireBytes += directHdrBytes
+	}
+	wire := cfg.wireTime(wireBytes)
 	depart := eng.Now()
 	if a.linkFree > depart {
 		depart = a.linkFree
@@ -332,7 +446,7 @@ func (a *Adapter) transmit(p *txPacket, isRetry bool, sent func()) {
 	a.linkFree = depart + sim.Time(wire)
 
 	a.sw.Counters.Add(stats.PacketsSent, 1)
-	a.sw.Counters.Add(stats.BytesSent, int64(len(p.data)))
+	a.sw.Counters.Add(stats.BytesSent, int64(wireBytes))
 
 	drop := false
 	extra := time.Duration(0)
@@ -373,9 +487,16 @@ func (a *Adapter) transmit(p *txPacket, isRetry bool, sent func()) {
 		arrive := ready + sim.Time(cfg.WireLatency) + sim.Time(extra)
 		src, seq, data := a.rank, p.seq, p.data
 		dstAd := a.sw.adapters[p.dst]
-		a.post(dstAd, arrive, func() {
-			dstAd.receive(src, seq, data)
-		})
+		if p.direct {
+			token, off := p.token, p.off
+			a.post(dstAd, arrive, func() {
+				dstAd.receiveDirect(src, seq, token, off, data)
+			})
+		} else {
+			a.post(dstAd, arrive, func() {
+				dstAd.receive(src, seq, data)
+			})
+		}
 	}
 
 	// Arm the retransmission timer.
@@ -407,6 +528,37 @@ func (a *Adapter) receive(src int, seq uint64, data []byte) {
 	a.deliver(src, data)
 }
 
+// receiveDirect lands one direct-lane fragment in its pre-posted region —
+// modeled as adapter DMA: the copy below is the simulation updating the
+// bytes a real adapter would have placed without CPU involvement, so no
+// virtual time is charged here beyond the wire time transmit already spent.
+func (a *Adapter) receiveDirect(src int, seq uint64, token uint64, off uint32, data []byte) {
+	a.sendAck(src, seq)
+	if a.seen[src][seq] {
+		return // duplicate from retransmission
+	}
+	a.seen[src][seq] = true
+	a.sw.Counters.Add(stats.PacketsRecv, 1)
+	a.sw.Counters.Add(stats.BytesRecv, int64(len(data)+directHdrBytes))
+	k := directKey{src: src, token: token}
+	r := a.posted[k]
+	if r == nil {
+		panic(fmt.Sprintf("switchnet: direct fragment at rank %d with no posted region (src %d token %d)", a.rank, src, token))
+	}
+	if int(off)+len(data) > len(r.buf) {
+		panic(fmt.Sprintf("switchnet: direct fragment at rank %d overflows region (src %d token %d off %d len %d region %d)", a.rank, src, token, off, len(data), len(r.buf)))
+	}
+	copy(r.buf[off:], data)
+	r.recvd += len(data)
+	if r.recvd >= len(r.buf) {
+		delete(a.posted, k)
+		if a.directDone == nil {
+			panic(fmt.Sprintf("switchnet: direct completion at rank %d with no done callback", a.rank))
+		}
+		a.directDone(src, token)
+	}
+}
+
 // receiveLoopback bypasses sequencing for self-sends.
 func (a *Adapter) receiveLoopback(src int, data []byte) {
 	a.sw.Counters.Add(stats.PacketsRecv, 1)
@@ -436,6 +588,14 @@ func (a *Adapter) sendAck(src int, seq uint64) {
 		if p, ok := origin.unacked[seq]; ok {
 			p.acked = true
 			delete(origin.unacked, seq)
+			if m := p.msg; m != nil {
+				// Direct-lane fragment: the payload slice is pinned until
+				// the whole message is acked, then the borrow ends.
+				m.remaining--
+				if m.remaining == 0 && m.sent != nil {
+					m.sent()
+				}
+			}
 		}
 	})
 }

@@ -111,17 +111,44 @@ type Endpoint struct {
 	// does not allocate a closure per frame.
 	dispatchFn func(src int, data []byte)
 
-	mu      sync.Mutex
-	deliver func(src int, data []byte)
-	pending []pendingPkt // frames that arrived before SetDeliver
-	conns   []*conn      // by peer rank; conns[self] == nil
-	closed  bool
-	wg      sync.WaitGroup
+	mu         sync.Mutex
+	deliver    func(src int, data []byte)
+	pending    []pendingPkt // frames that arrived before SetDeliver
+	conns      []*conn      // by peer rank; conns[self] == nil
+	closed     bool
+	directDone func(src int, token uint64)
+	posted     map[postKey]*region
+	regionFree []*region // retired region records, reused by RecvInto
+	wg         sync.WaitGroup
 }
 
 type pendingPkt struct {
 	src  int
 	data []byte
+}
+
+// Direct-lane wire format: a frame whose 4-byte length prefix has the high
+// bit set carries (8-byte token, 4-byte offset, payload) and lands straight
+// in the region pre-posted via RecvInto — the payload bytes never touch the
+// frame pool on either side. The length counts subheader + payload, so a
+// direct frame may exceed MaxPacket (writev and ReadFull handle any size).
+const (
+	directFlag      = 1 << 31
+	directSubheader = 12
+)
+
+// postKey identifies a pre-posted landing region: the sending peer plus the
+// protocol's transfer token.
+type postKey struct {
+	src   int
+	token uint64
+}
+
+// region is one pre-posted landing buffer. recvd tracks direct bytes landed
+// so far; the region retires (and the done upcall fires) at len(buf).
+type region struct {
+	buf   []byte
+	recvd int
 }
 
 // conn is one peer connection with an outbound writer goroutine, so sends
@@ -134,6 +161,11 @@ type conn struct {
 type outFrame struct {
 	data []byte
 	sent func()
+	// direct marks a zero-copy frame: data is BORROWED from the caller
+	// (never returned to the pool) and goes on the wire behind a
+	// directFlag length prefix and (token, 0) subheader.
+	direct bool
+	token  uint64
 }
 
 var _ fabric.Transport = (*Endpoint)(nil)
@@ -153,6 +185,7 @@ func Dial(rt *exec.RealRuntime, self, n int, addrs []string, maxPacket int) (*En
 		n:         n,
 		maxPacket: maxPacket,
 		conns:     make([]*conn, n),
+		posted:    make(map[postKey]*region),
 	}
 	e.dispatchFn = e.dispatch
 
@@ -295,9 +328,80 @@ func (e *Endpoint) Alloc(n int) []byte { return pool.get(n) }
 // pool. The caller must not touch pkt afterwards.
 func (e *Endpoint) Release(pkt []byte) { pool.put(pkt) }
 
-// Contract implements fabric.Transport: both directions are pooled.
+// Contract implements fabric.Transport: both directions are pooled, and
+// the zero-copy direct lane is live.
 func (e *Endpoint) Contract() fabric.Contract {
-	return fabric.Contract{PooledDelivery: true, PooledSend: true}
+	return fabric.Contract{PooledDelivery: true, PooledSend: true, Direct: true}
+}
+
+// SetDirectDone implements fabric.Transport.
+func (e *Endpoint) SetDirectDone(fn func(src int, token uint64)) {
+	e.mu.Lock()
+	e.directDone = fn
+	e.mu.Unlock()
+}
+
+// RecvInto implements fabric.Transport: posts buf as the landing region for
+// direct frames from (src, token). The protocol's control handshake orders
+// this before the matching SendDirect, so a frame never races its region.
+func (e *Endpoint) RecvInto(src int, token uint64, buf []byte) {
+	fabric.CheckRank(src, e.n)
+	e.mu.Lock()
+	r := e.newRegionLocked(buf)
+	e.posted[postKey{src: src, token: token}] = r
+	e.mu.Unlock()
+}
+
+// newRegionLocked takes a region record from the freelist (e.mu held).
+func (e *Endpoint) newRegionLocked(buf []byte) *region {
+	if n := len(e.regionFree); n > 0 {
+		r := e.regionFree[n-1]
+		e.regionFree[n-1] = nil
+		e.regionFree = e.regionFree[:n-1]
+		r.buf, r.recvd = buf, 0
+		return r
+	}
+	return &region{buf: buf}
+}
+
+// SendDirect implements fabric.Transport: the payload rides the peer's
+// writer as a single borrowed frame — writev gathers it straight from the
+// caller's slice, and the write loop never returns it to the pool.
+func (e *Endpoint) SendDirect(ctx exec.Context, dst int, token uint64, payload []byte, sent func()) {
+	fabric.CheckRank(dst, e.n)
+	if dst == e.self {
+		// Loopback: land the bytes in the posted region directly. One copy
+		// (there is no wire to elide it on) on a path protocols rarely take.
+		e.rt.After(0, func() {
+			e.mu.Lock()
+			k := postKey{src: e.self, token: token}
+			r := e.posted[k]
+			var done func(src int, token uint64)
+			if r != nil {
+				copy(r.buf, payload)
+				delete(e.posted, k)
+				r.buf = nil
+				e.regionFree = append(e.regionFree, r)
+				done = e.directDone
+			}
+			e.mu.Unlock()
+			if sent != nil {
+				sent()
+			}
+			if done != nil {
+				done(e.self, token)
+			}
+		})
+		return
+	}
+	e.mu.Lock()
+	cn := e.conns[dst]
+	closed := e.closed
+	e.mu.Unlock()
+	if closed || cn == nil {
+		return // drops after close, like a downed link
+	}
+	cn.out <- outFrame{data: payload, sent: sent, direct: true, token: token}
 }
 
 // SetDeliver implements fabric.Transport, flushing any frames that raced
@@ -343,8 +447,9 @@ func (e *Endpoint) Send(ctx exec.Context, dst int, data []byte, sent func()) {
 	cn.out <- outFrame{data: data, sent: sent}
 }
 
-// writeBatch is the most frames one writev gathers. Each frame contributes
-// two iovec entries (length prefix + payload).
+// writeBatch is the most frames one writev gathers. A pooled frame
+// contributes two iovec entries (length prefix + payload); a direct frame
+// contributes three (prefix + subheader + borrowed payload).
 const writeBatch = 16
 
 func (e *Endpoint) writeLoop(cn *conn) {
@@ -355,8 +460,10 @@ func (e *Endpoint) writeLoop(cn *conn) {
 	defer cn.c.Close()
 	var (
 		lens   [writeBatch][4]byte
+		subs   [writeBatch][directSubheader]byte
 		frames [writeBatch]outFrame
-		iovBuf [2 * writeBatch][]byte
+		iovBuf [3 * writeBatch][]byte
+		iov    net.Buffers // declared here: WriteTo takes its address, so an in-loop variable would heap-escape per batch
 	)
 	for f := range cn.out {
 		// Gather whatever else is already queued, then emit the batch as a
@@ -380,23 +487,36 @@ func (e *Endpoint) writeLoop(cn *conn) {
 		// WriteTo consumes the Buffers slice it is handed, so build each
 		// batch over a fixed backing array rather than reusing the slice
 		// header (reuse after consumption would reallocate every batch).
-		iov := net.Buffers(iovBuf[:0])
+		iov = iovBuf[:0]
 		for i := 0; i < nf; i++ {
-			binary.BigEndian.PutUint32(lens[i][:], uint32(len(frames[i].data)))
-			iov = append(iov, lens[i][:], frames[i].data)
+			if frames[i].direct {
+				binary.BigEndian.PutUint32(lens[i][:], directFlag|uint32(directSubheader+len(frames[i].data)))
+				binary.BigEndian.PutUint64(subs[i][0:8], frames[i].token)
+				binary.BigEndian.PutUint32(subs[i][8:12], 0)
+				iov = append(iov, lens[i][:], subs[i][:], frames[i].data)
+			} else {
+				binary.BigEndian.PutUint32(lens[i][:], uint32(len(frames[i].data)))
+				iov = append(iov, lens[i][:], frames[i].data)
+			}
 		}
+		nv := len(iov)
 		if _, err := iov.WriteTo(cn.c); err != nil {
-			// The batch dies with the connection, but its frame buffers must
-			// still go back to the pool (the senders handed ownership over).
+			// The batch dies with the connection, but pooled frame buffers
+			// must still go back (the senders handed ownership over). Direct
+			// payloads are borrowed, never pooled: leave them to the caller.
 			for i := 0; i < nf; i++ {
-				pool.put(frames[i].data)
+				if !frames[i].direct {
+					pool.put(frames[i].data)
+				}
 				frames[i] = outFrame{}
 			}
 			return
 		}
-		clear(iovBuf[:2*nf])
+		clear(iovBuf[:nv])
 		for i := 0; i < nf; i++ {
-			pool.put(frames[i].data)
+			if !frames[i].direct {
+				pool.put(frames[i].data)
+			}
 			if frames[i].sent != nil {
 				e.rt.Post(frames[i].sent)
 			}
@@ -408,11 +528,19 @@ func (e *Endpoint) writeLoop(cn *conn) {
 func (e *Endpoint) readLoop(peer int, cn *conn) {
 	defer e.wg.Done()
 	var lenBuf [4]byte
+	var sub [directSubheader]byte // hoisted: ReadFull's interface call would heap-escape a per-call array
 	for {
 		if _, err := io.ReadFull(cn.c, lenBuf[:]); err != nil {
 			return
 		}
-		n := binary.BigEndian.Uint32(lenBuf[:])
+		raw := binary.BigEndian.Uint32(lenBuf[:])
+		if raw&directFlag != 0 {
+			if !e.readDirect(peer, cn, sub[:], int(raw&^directFlag)) {
+				return
+			}
+			continue
+		}
+		n := raw
 		if int(n) > e.maxPacket {
 			return // corrupt stream; drop the connection
 		}
@@ -424,6 +552,51 @@ func (e *Endpoint) readLoop(peer int, cn *conn) {
 		// The receiver owns data until it calls Release (Contract).
 		e.rt.PostPacket(e.dispatchFn, peer, data)
 	}
+}
+
+// readDirect lands one direct frame straight into its pre-posted region:
+// subheader, then a ReadFull whose destination IS the user buffer — the
+// payload never touches the frame pool. Returns false to drop the
+// connection (missing region or out-of-bounds placement means a corrupt or
+// misbehaving peer; the causal RTS/CTS handshake rules those out for
+// well-formed traffic).
+func (e *Endpoint) readDirect(peer int, cn *conn, sub []byte, n int) bool {
+	if n < directSubheader {
+		return false
+	}
+	if _, err := io.ReadFull(cn.c, sub); err != nil {
+		return false
+	}
+	token := binary.BigEndian.Uint64(sub[0:8])
+	off := int(binary.BigEndian.Uint32(sub[8:12]))
+	plen := n - directSubheader
+	k := postKey{src: peer, token: token}
+	e.mu.Lock()
+	r := e.posted[k]
+	e.mu.Unlock()
+	if r == nil || off < 0 || off+plen > len(r.buf) {
+		return false
+	}
+	if _, err := io.ReadFull(cn.c, r.buf[off:off+plen]); err != nil {
+		return false
+	}
+	e.mu.Lock()
+	r.recvd += plen
+	complete := r.recvd >= len(r.buf)
+	var done func(src int, token uint64)
+	if complete {
+		delete(e.posted, k)
+		r.buf = nil
+		e.regionFree = append(e.regionFree, r)
+		done = e.directDone
+	}
+	e.mu.Unlock()
+	if complete && done != nil {
+		// Serialized on the runtime; the mutex hand-off orders the payload
+		// writes above before any reader that observes the completion.
+		e.rt.PostDone(done, peer, token)
+	}
+	return true
 }
 
 // dispatch hands a frame to the deliver callback, or stashes it if the
