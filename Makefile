@@ -44,6 +44,20 @@ determinism:
 		fi; \
 		echo "determinism: -exp $$exp byte-identical serial vs parallel"; \
 	done
+	@# Contended-mesh identity: -exp mesh iterates every named fabric
+	@# (crossbar, contended spine, fat tree, zero latency) and exits
+	@# non-zero if any sharded run's virtual times diverge from serial.
+	@/tmp/golapi-lapibench -exp mesh > /dev/null && \
+		echo "determinism: -exp mesh serial/sharded virtual times identical on all fabrics"
+	@# Thousand-task sweep: the mesh1k CSV holds only virtual times, so
+	@# the one-shard run must byte-match the sharded run.
+	@/tmp/golapi-lapibench -exp mesh1k -csv -rounds 1 -serial > /tmp/golapi-mesh1k-serial.out; \
+	/tmp/golapi-lapibench -exp mesh1k -csv -rounds 1 > /tmp/golapi-mesh1k-parallel.out; \
+	if ! cmp -s /tmp/golapi-mesh1k-serial.out /tmp/golapi-mesh1k-parallel.out; then \
+		echo "determinism: -exp mesh1k differs between -serial (one shard) and sharded:"; \
+		diff /tmp/golapi-mesh1k-serial.out /tmp/golapi-mesh1k-parallel.out; exit 1; \
+	fi; \
+	echo "determinism: -exp mesh1k (1024 tasks) byte-identical serial vs sharded"
 	@# Sub-crossover bit-identity: below the rendezvous crossover (256 KB on
 	@# the simulated switch) the protocol machinery must not move a single
 	@# virtual tick, so fig2's first 15 CSV lines (header + sizes 16 B

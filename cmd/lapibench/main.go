@@ -10,7 +10,7 @@
 //
 // Usage:
 //
-//	lapibench [-exp table2|pipeline|fig2|scale|collective|rndv|mesh|all] [-csv] [-serial] [-shards N] [-force-eager]
+//	lapibench [-exp table2|pipeline|fig2|scale|collective|rndv|mesh|mesh1k|all] [-csv] [-serial] [-shards N] [-rounds N] [-force-eager]
 package main
 
 import (
@@ -23,10 +23,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, pipeline, fig2, scale, collective, rndv, mesh, all")
-	csv := flag.Bool("csv", false, "emit data series as CSV (table2, fig2, scale, collective, rndv)")
-	serial := flag.Bool("serial", false, "run sweep points serially instead of across CPU cores")
-	shards := flag.Int("shards", 4, "sub-engines for the Tier B parallel mesh (-exp mesh)")
+	exp := flag.String("exp", "all", "experiment to run: table2, pipeline, fig2, scale, collective, rndv, mesh, mesh1k, all")
+	csv := flag.Bool("csv", false, "emit data series as CSV (table2, fig2, scale, collective, rndv, mesh1k)")
+	serial := flag.Bool("serial", false, "run sweep points serially instead of across CPU cores (mesh1k: one shard)")
+	shards := flag.Int("shards", 4, "sub-engines for the Tier B parallel meshes (-exp mesh, -exp mesh1k)")
+	rounds := flag.Int("rounds", 2, "puts per rank per point-to-point pattern (-exp mesh1k)")
 	forceEager := flag.Bool("force-eager", false, "disable the rendezvous protocol for fig2's LAPI series (the determinism gate byte-diffs sub-crossover rows against the default)")
 	flag.Parse()
 	log.SetFlags(0)
@@ -120,19 +121,43 @@ func main() {
 	}
 	// mesh reports wall-clock times, which vary run to run, so it is only
 	// run when explicitly requested — never under -exp all, whose output
-	// must stay byte-diffable for the determinism gate.
+	// must stay byte-diffable for the determinism gate. It iterates every
+	// named fabric config (crossbar, contended spine, fat tree, zero
+	// latency) and self-checks the serial/sharded virtual-time identity.
 	if *exp == "mesh" {
 		ran = true
-		m, err := bench.MeasureMesh(8, *shards, 50, 1024)
-		if err != nil {
-			log.Fatalf("mesh: %v", err)
+		for _, nc := range bench.MeshConfigs() {
+			m, err := bench.MeasureMesh(8, *shards, 50, 1024, nc.Cfg)
+			if err != nil {
+				log.Fatalf("mesh %s: %v", nc.Name, err)
+			}
+			fmt.Printf("[%s]\n%s", nc.Name, bench.FormatMesh(m))
+			if !m.Matches {
+				log.Fatalf("mesh %s: sharded run diverged from the serial engine", nc.Name)
+			}
 		}
-		fmt.Print(bench.FormatMesh(m))
-		if !m.Matches {
-			log.Fatalf("mesh: sharded run diverged from the serial engine")
+	}
+	// mesh1k is the 1024-task fat-tree sweep. Its CSV holds only virtual
+	// times, so `make determinism` byte-diffs -serial (one shard) against
+	// the sharded run; it is excluded from -exp all because the sweep
+	// dominates runtime.
+	if *exp == "mesh1k" {
+		ran = true
+		sh := *shards
+		if *serial {
+			sh = 1
+		}
+		m, err := bench.MeasureMesh1k(px, sh, *rounds)
+		if err != nil {
+			log.Fatalf("mesh1k: %v", err)
+		}
+		if *csv {
+			fmt.Print(bench.CSVMesh1k(m))
+		} else {
+			fmt.Print(bench.FormatMesh1k(m))
 		}
 	}
 	if !ran {
-		log.Fatalf("unknown experiment %q (want table2, pipeline, fig2, scale, collective, rndv, mesh or all)", *exp)
+		log.Fatalf("unknown experiment %q (want table2, pipeline, fig2, scale, collective, rndv, mesh, mesh1k or all)", *exp)
 	}
 }

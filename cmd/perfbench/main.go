@@ -54,6 +54,8 @@ func main() {
 	fmt.Printf("sim:     %.1f allocs/msg (4-byte PutSync, simulated switch)\n",
 		r.SimAllocsPerMsg)
 	if !*quick {
+		fmt.Printf("mesh1k:  %d tasks, %.1f ms serial, %.1f ms on %d shards -> %.2fx speedup\n",
+			r.Mesh1kTasks, r.Mesh1kWallMsSerial, r.Mesh1kWallMsParallel, r.Mesh1kShards, r.Mesh1kSpeedup)
 		fmt.Printf("lint:    %.1f ms wall-clock (full lapivet suite over ./...)\n",
 			r.LintWallMs)
 	}

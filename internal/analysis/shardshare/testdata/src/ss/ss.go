@@ -81,3 +81,42 @@ func serialWrite() {
 	counter = 0
 	results = make(map[int]float64)
 }
+
+// spineFree models the switch interior's link-occupancy pools at the
+// outbox seam: sharded engines must record would-be spine claims in
+// per-shard outboxes and merge them at the epoch barrier, never write
+// the shared occupancy state from worker goroutines.
+var spineFree [4]int64
+
+// claimSpine is an inline-resolution helper — the shape the barrier
+// replaced.
+func claimSpine(link int, end int64) {
+	if spineFree[link] < end {
+		spineFree[link] = end
+	}
+}
+
+// spineFromJob writes the occupancy pool directly from a sweep job.
+func spineFromJob(px *parallel.Executor) error {
+	return parallel.ForEach(px, 8, func(i int) error {
+		spineFree[i%4] = int64(i) // want `sweep job writes package-level state ss\.spineFree`
+		return nil
+	})
+}
+
+// spineViaResolver reaches the pool through the resolver helper from a
+// Map job; the diagnostic names the callee.
+func spineViaResolver(px *parallel.Executor) ([]int64, error) {
+	return parallel.Map(px, 8, func(i int) (int64, error) {
+		claimSpine(i%4, int64(i)) // want `sweep job writes package-level state ss\.spineFree via claimSpine`
+		return int64(i), nil
+	})
+}
+
+// spineAtBarrier is clean: resolving claims outside any sweep job is the
+// epoch barrier's prerogative (engines are parked, one goroutine runs).
+func spineAtBarrier(claims []int64) {
+	for link, end := range claims {
+		claimSpine(link%4, end)
+	}
+}

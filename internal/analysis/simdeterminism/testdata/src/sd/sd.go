@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"golapi/internal/exec"
+	"golapi/internal/fabric"
 	"golapi/internal/lapi"
 )
 
@@ -46,6 +47,29 @@ func sortedSend(ctx exec.Context, t *lapi.Task, bufs map[int][]byte) {
 	sort.Ints(keys)
 	for _, dst := range keys {
 		t.Put(ctx, dst, 0, bufs[dst], lapi.NoCounter, nil, nil)
+	}
+}
+
+// outboxFlush models the sharded engine's outbox seam gone wrong: the
+// epoch barrier arbitrates cross-shard packets in (timestamp, source,
+// sequence) order, but draining a map-keyed outbox injects them in
+// randomized iteration order, scrambling the arbitration input run to
+// run.
+func outboxFlush(ctx exec.Context, tr fabric.Transport, outbox map[int][]byte) {
+	for dst, pkt := range outbox {
+		tr.Send(ctx, dst, pkt, nil) // want `communication \(Send\) issued while ranging over a map`
+	}
+}
+
+// outboxFlushOrdered is clean: the outbox drains in stable key order.
+func outboxFlushOrdered(ctx exec.Context, tr fabric.Transport, outbox map[int][]byte) {
+	keys := make([]int, 0, len(outbox))
+	for dst := range outbox {
+		keys = append(keys, dst)
+	}
+	sort.Ints(keys)
+	for _, dst := range keys {
+		tr.Send(ctx, dst, outbox[dst], nil)
 	}
 }
 

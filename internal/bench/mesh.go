@@ -59,13 +59,40 @@ func meshMain(rounds, size int, done []time.Duration) func(ctx exec.Context, t *
 	}
 }
 
-// MeasureMesh runs the ring workload on ranks tasks, serial and sharded
-// across shards sub-engines, and compares the runs' virtual times.
-func MeasureMesh(ranks, shards, rounds, size int) (MeshResult, error) {
+// NamedMeshConfig is one fabric configuration the mesh experiments
+// iterate: the ideal crossbar plus the regimes the ungated sharded
+// simulator newly covers (contended spine, fat tree, zero latency).
+type NamedMeshConfig struct {
+	Name string
+	Cfg  switchnet.Config
+}
+
+// MeshConfigs returns the named fabric configurations for -exp mesh.
+func MeshConfigs() []NamedMeshConfig {
+	crossbar := switchnet.DefaultConfig()
+	spine := switchnet.DefaultConfig()
+	spine.SpineLinks = 4
+	fattree := switchnet.DefaultConfig()
+	fattree.FatTreeLevels = []int{4, 2}
+	fattree.FatTreeArity = 2
+	zerolat := switchnet.DefaultConfig()
+	zerolat.WireLatency = 0
+	return []NamedMeshConfig{
+		{"crossbar", crossbar},
+		{"spine4", spine},
+		{"fattree", fattree},
+		{"zerolat", zerolat},
+	}
+}
+
+// MeasureMesh runs the ring workload on ranks tasks over the given
+// fabric, serial and sharded across shards sub-engines, and compares the
+// runs' virtual times.
+func MeasureMesh(ranks, shards, rounds, size int, scfg switchnet.Config) (MeshResult, error) {
 	out := MeshResult{Ranks: ranks, Shards: shards, Rounds: rounds, Size: size}
 
 	serial := make([]time.Duration, ranks)
-	j, err := cluster.NewSimDefault(ranks)
+	j, err := cluster.NewSim(ranks, scfg, lapi.DefaultConfig())
 	if err != nil {
 		return out, err
 	}
@@ -81,7 +108,7 @@ func MeasureMesh(ranks, shards, rounds, size int) (MeshResult, error) {
 	}
 
 	sharded := make([]time.Duration, ranks)
-	sj, err := cluster.NewShardedSim(parallel.New(shards), shards, ranks, switchnet.DefaultConfig(), lapi.DefaultConfig())
+	sj, err := cluster.NewShardedSim(parallel.New(shards), shards, ranks, scfg, lapi.DefaultConfig())
 	if err != nil {
 		return out, err
 	}

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"fmt"
 	"runtime"
 	"testing"
 	"time"
@@ -73,6 +74,19 @@ type HotpathReport struct {
 
 	// Simulated-switch LAPI: allocations per 4-byte PutSync.
 	SimAllocsPerMsg float64 `json:"sim_allocs_per_msg"`
+
+	// Thousand-task sweep (mesh1k): 1024 simulated tasks on a fat-tree
+	// fabric, run through uniform + hot-spot + allreduce traffic, once
+	// serially (one shard) and once sharded across sub-engines. Virtual
+	// times are byte-identical by construction (`make determinism`
+	// enforces it); the wall-clock pair and speedup are the scaling
+	// numbers this report tracks. On a one-CPU host the speedup hovers
+	// near (or below) 1 — the record is the baseline, not a win.
+	Mesh1kTasks          int     `json:"mesh1k_tasks"`
+	Mesh1kShards         int     `json:"mesh1k_shards"`
+	Mesh1kWallMsSerial   float64 `json:"mesh1k_wall_ms_serial"`
+	Mesh1kWallMsParallel float64 `json:"mesh1k_wall_ms_parallel"`
+	Mesh1kSpeedup        float64 `json:"mesh1k_speedup"`
 
 	// LintWallMs is one `make lint` equivalent — the full lapivet suite
 	// (including the interprocedural ownership summaries and channel-aware
@@ -178,6 +192,37 @@ func MeasureHotpath(px *parallel.Executor, quick bool) (HotpathReport, error) {
 
 	if r.SimAllocsPerMsg, err = simPutAllocs(px, allocRuns); err != nil {
 		return r, err
+	}
+
+	// The thousand-task sweep costs ~2 s at 1024 tasks, so it is skipped
+	// in quick mode (benchsmoke stays sub-second; `make determinism`
+	// byte-diffs the same sweep serial vs sharded on every check anyway).
+	if !quick {
+		mesh1kShards := px.Workers()
+		if mesh1kShards < 2 {
+			mesh1kShards = 2
+		}
+		r.Mesh1kTasks = Mesh1kTasks
+		r.Mesh1kShards = mesh1kShards
+		serial1k, err := MeasureMesh1k(nil, 1, 2)
+		if err != nil {
+			return r, err
+		}
+		r.Mesh1kWallMsSerial = serial1k.WallMs
+		sharded1k, err := MeasureMesh1k(px, mesh1kShards, 2)
+		if err != nil {
+			return r, err
+		}
+		r.Mesh1kWallMsParallel = sharded1k.WallMs
+		if sharded1k.WallMs > 0 {
+			r.Mesh1kSpeedup = serial1k.WallMs / sharded1k.WallMs
+		}
+		if serial1k.Uniform != sharded1k.Uniform || serial1k.Hotspot != sharded1k.Hotspot ||
+			serial1k.Allreduce != sharded1k.Allreduce {
+			return r, fmt.Errorf("mesh1k: sharded virtual times diverged from serial (%v/%v/%v vs %v/%v/%v)",
+				sharded1k.Uniform, sharded1k.Hotspot, sharded1k.Allreduce,
+				serial1k.Uniform, serial1k.Hotspot, serial1k.Allreduce)
+		}
 	}
 
 	if !quick {

@@ -96,18 +96,23 @@ func (j *ShardedJob[T]) Run(main func(ctx exec.Context, t T)) error {
 		})
 	}
 	closed := false
-	return parallel.RunEpochs(j.px, j.Engines, j.Switch.Lookahead(), j.Switch.TakeOutbox, func() bool {
-		if closed || remaining.Load() != 0 {
-			return false
-		}
-		// All mains returned and the fabric is idle: close every task.
-		// The engines are parked at the barrier, so touching task state
-		// from here cannot race; Close only wakes dispatcher processes
-		// (fresh events), which the next epochs drain.
-		closed = true
-		for _, t := range j.Tasks {
-			t.Close()
-		}
-		return true
+	return parallel.RunEpochs(j.px, j.Engines, j.Switch.Lookahead(), parallel.Hooks{
+		TakeOutbox: j.Switch.TakeOutbox,
+		Barrier:    j.Switch.ResolveSpine,
+		Stats:      &j.Switch.Counters,
+		OnQuiesce: func() bool {
+			if closed || remaining.Load() != 0 {
+				return false
+			}
+			// All mains returned and the fabric is idle: close every task.
+			// The engines are parked at the barrier, so touching task state
+			// from here cannot race; Close only wakes dispatcher processes
+			// (fresh events), which the next epochs drain.
+			closed = true
+			for _, t := range j.Tasks {
+				t.Close()
+			}
+			return true
+		},
 	})
 }

@@ -40,6 +40,13 @@ func meshWorkload(rounds, size int) func(ctx exec.Context, t *lapi.Task) {
 // (shards == 1 uses the plain single-engine Job — the serial reference)
 // and returns the canonical merged trace of per-rank tracers.
 func runMeshTrace(t *testing.T, shards, n int) []trace.Event {
+	return runMeshTraceCfg(t, shards, n, switchnet.DefaultConfig(), 0)
+}
+
+// runMeshTraceCfg is runMeshTrace with an explicit fabric config and a
+// per-rank start stagger, for the newly ungated regimes (contended
+// interiors, zero wire latency).
+func runMeshTraceCfg(t *testing.T, shards, n int, scfg switchnet.Config, stagger time.Duration) []trace.Event {
 	t.Helper()
 	tracers := make([]*trace.Tracer, n)
 	for i := range tracers {
@@ -50,10 +57,16 @@ func runMeshTrace(t *testing.T, shards, n int) []trace.Event {
 		cfg.Tracer = tracers[rank]
 		return lapi.NewTask(rt, tr, cfg)
 	}
-	main := meshWorkload(20, 512)
+	inner := meshWorkload(20, 512)
+	main := func(ctx exec.Context, tk *lapi.Task) {
+		if stagger > 0 {
+			ctx.Sleep(time.Duration(tk.Self()) * stagger)
+		}
+		inner(ctx, tk)
+	}
 	if shards == 1 {
 		rank := 0
-		j, err := NewJob(n, switchnet.DefaultConfig(), func(rt exec.Runtime, tr fabric.Transport) (*lapi.Task, error) {
+		j, err := NewJob(n, scfg, func(rt exec.Runtime, tr fabric.Transport) (*lapi.Task, error) {
 			r := rank
 			rank++
 			return mk(r, rt, tr)
@@ -65,7 +78,7 @@ func runMeshTrace(t *testing.T, shards, n int) []trace.Event {
 			t.Fatal(err)
 		}
 	} else {
-		j, err := NewShardedJob(parallel.New(shards), shards, n, switchnet.DefaultConfig(), mk)
+		j, err := NewShardedJob(parallel.New(shards), shards, n, scfg, mk)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,6 +114,51 @@ func TestShardedTraceMatchesSerial(t *testing.T) {
 					shards, i, serial[i], got[i])
 			}
 		}
+	}
+}
+
+// TestShardedContendedTraceMatchesSerial runs the Tier B determinism gate
+// on the newly ungated fabric regimes: a contended spine, a fat tree, and
+// zero wire latency (micro-epochs). The full protocol stack rides the
+// barrier-arbitrated interior here — acks, retransmission timers, fences —
+// and the merged trace must still match the serial engine byte for byte.
+func TestShardedContendedTraceMatchesSerial(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*switchnet.Config)
+	}{
+		{"spine", func(c *switchnet.Config) { c.SpineLinks = 2 }},
+		{"fattree", func(c *switchnet.Config) { c.FatTreeLevels = []int{2, 1}; c.FatTreeArity = 2 }},
+		{"zerolat", func(c *switchnet.Config) { c.WireLatency = 0 }},
+	}
+	// The workload is fully symmetric (every rank starts at t=0 and the
+	// windowed put pipeline re-synchronizes ranks), so same-instant
+	// interior claims are endemic — exactly the tie case the shared
+	// (timestamp, source, per-source seq) arbitration key exists for
+	// (DESIGN.md §13).
+	const n = 8
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			scfg := switchnet.DefaultConfig()
+			tc.mut(&scfg)
+			serial := runMeshTraceCfg(t, 1, n, scfg, 0)
+			if len(serial) == 0 {
+				t.Fatal("serial run produced no trace events")
+			}
+			for _, shards := range []int{2, 4, 8} {
+				got := runMeshTraceCfg(t, shards, n, scfg, 0)
+				if len(got) != len(serial) {
+					t.Errorf("shards=%d: %d trace events, serial has %d", shards, len(got), len(serial))
+				}
+				for i := 0; i < len(serial) && i < len(got); i++ {
+					if got[i] != serial[i] {
+						t.Fatalf("shards=%d: trace diverges at event %d:\n  serial:  %+v\n  sharded: %+v",
+							shards, i, serial[i], got[i])
+					}
+				}
+			}
+		})
 	}
 }
 

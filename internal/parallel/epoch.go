@@ -6,8 +6,9 @@
 //
 //   - The fabric promises a minimum latency L between the moment a
 //     cross-shard event is created and the virtual time at which it takes
-//     effect (for switchnet, the wire latency: a packet or ack created at
-//     local time t arrives no earlier than t+L).
+//     effect (for switchnet, the wire latency — or, when the wire latency
+//     is zero, the minimum adapter service time bounding the micro-epoch
+//     window; see switchnet.NewSharded).
 //
 //   - Each epoch computes m = min over engines of NextAt() and runs every
 //     engine independently up to the deadline m+L-1 (times are integer
@@ -18,12 +19,14 @@
 //     event in its past, which is exactly the property that makes the
 //     parallel run equivalent to the serial one.
 //
-//   - At the barrier, the accumulated exports of all shards are merged in
-//     the deterministic order (At, source shard id, per-shard sequence) —
-//     collection walks shards in index order and the sort below is stable,
-//     so ties keep that order — and imported with Engine.ScheduleAt. The
-//     merge order is independent of worker scheduling, so repeated runs
-//     are bit-identical.
+//   - At the barrier, shared-resource contention is arbitrated first
+//     (Hooks.Barrier — e.g. a sharded switch resolving its spine-link
+//     occupancies in global timestamp order), then the accumulated
+//     exports of all shards are merged in the deterministic order (At,
+//     source shard id, per-shard sequence) — collection walks shards in
+//     index order and the sort below is stable, so ties keep that order —
+//     and imported with Engine.ScheduleAt. The merge order is independent
+//     of worker scheduling, so repeated runs are bit-identical.
 package parallel
 
 import (
@@ -32,6 +35,7 @@ import (
 	"sort"
 
 	"golapi/internal/sim"
+	"golapi/internal/stats"
 )
 
 // Export is one cross-shard event: a closure that must run at absolute
@@ -45,34 +49,60 @@ type Export struct {
 	Fn    func()
 }
 
+// Hooks customises RunEpochs' barrier. TakeOutbox is required; the rest
+// are optional.
+type Hooks struct {
+	// TakeOutbox must drain and return shard s's exports accumulated
+	// during the last epoch, in creation order.
+	TakeOutbox func(shard int) []Export
+	// Barrier, if non-nil, runs at every epoch barrier with all engines
+	// parked, before outboxes are collected. It is the seam for state
+	// shared by all shards: the fabric arbitrates speculative resource
+	// claims (spine-link occupancies) here and may schedule events on
+	// any engine directly, since nothing else is running.
+	Barrier func()
+	// OnQuiesce, if non-nil, is called when no engine has pending
+	// events; it may schedule new work (e.g. close the job's tasks,
+	// which wakes their dispatchers) and return true to keep going, or
+	// return false to stop. It runs with every engine parked, so it may
+	// touch any shard's state.
+	OnQuiesce func() bool
+	// Stats, if non-nil, receives per-barrier accounting: epoch counts,
+	// per-shard activity, and merge-queue high-water marks
+	// (stats.EpochBarriers and friends), so shard imbalance is visible
+	// in counter dumps next to the fabric's own packet counters.
+	Stats *stats.Counters
+}
+
 // RunEpochs drives the sub-engines in lockstep lookahead epochs until the
 // whole simulation quiesces, then runs each engine's deadlock check and
 // returns the joined verdicts (nil when every shard finished cleanly).
 //
 // lookahead is the fabric's minimum cross-shard delay L (must be
-// positive). takeOutbox(s) must drain and return shard s's exports
-// accumulated during the last epoch, in creation order. onQuiesce, if
-// non-nil, is called when no engine has pending events; it may schedule
-// new work (e.g. close the job's tasks, which wakes their dispatchers) and
-// return true to keep going, or return false to stop. It runs with every
-// engine parked, so it may touch any shard's state.
-//
-// Engines run their epochs on x's workers; x may be nil (serial epochs,
-// same results).
-func RunEpochs(x *Executor, engines []*sim.Engine, lookahead sim.Time, takeOutbox func(shard int) []Export, onQuiesce func() bool) error {
+// positive). Engines run their epochs on x's workers; x may be nil
+// (serial epochs, same results).
+func RunEpochs(x *Executor, engines []*sim.Engine, lookahead sim.Time, h Hooks) error {
 	if lookahead <= 0 {
 		return fmt.Errorf("parallel: epoch lookahead must be positive, got %v", lookahead)
+	}
+	if h.TakeOutbox == nil {
+		return fmt.Errorf("parallel: RunEpochs needs a TakeOutbox hook")
 	}
 	for {
 		var min sim.Time
 		any := false
-		for _, e := range engines {
-			if at, ok := e.NextAt(); ok && (!any || at < min) {
-				min, any = at, true
+		for i, e := range engines {
+			if at, ok := e.NextAt(); ok {
+				if !any || at < min {
+					min, any = at, true
+				}
+				if h.Stats != nil {
+					h.Stats.Add(stats.ShardEpochs(i), 1)
+				}
 			}
 		}
 		if !any {
-			if onQuiesce != nil && onQuiesce() {
+			if h.OnQuiesce != nil && h.OnQuiesce() {
 				continue
 			}
 			break
@@ -82,13 +112,25 @@ func RunEpochs(x *Executor, engines []*sim.Engine, lookahead sim.Time, takeOutbo
 			engines[i].RunUntil(deadline)
 			return nil
 		})
+		if h.Barrier != nil {
+			h.Barrier()
+		}
 		var imports []Export
 		for s := range engines {
-			imports = append(imports, takeOutbox(s)...)
+			ob := h.TakeOutbox(s)
+			if h.Stats != nil {
+				h.Stats.Max(stats.ShardOutboxHighWater(s), int64(len(ob)))
+			}
+			imports = append(imports, ob...)
 		}
 		sort.SliceStable(imports, func(i, j int) bool { return imports[i].At < imports[j].At })
 		for _, ev := range imports {
 			engines[ev.Shard].ScheduleAt(ev.At, ev.Fn)
+		}
+		if h.Stats != nil {
+			h.Stats.Add(stats.EpochBarriers, 1)
+			h.Stats.Add(stats.EpochImports, int64(len(imports)))
+			h.Stats.Max(stats.EpochMergeHighWater, int64(len(imports)))
 		}
 	}
 	var errs []error

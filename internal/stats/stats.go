@@ -29,6 +29,21 @@ func (c *Counters) Add(name string, delta int64) {
 	c.m[name] += delta
 }
 
+// Max raises name to v if v exceeds the current value — a high-water
+// mark rather than a monotonic sum (e.g. the deepest merge queue an
+// epoch barrier ever saw). Mixing Add and Max on the same name is a
+// caller bug; nothing enforces it.
+func (c *Counters) Max(name string, v int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]int64)
+	}
+	if v > c.m[name] {
+		c.m[name] = v
+	}
+}
+
 // Get returns the current value of name (zero if never added).
 func (c *Counters) Get(name string) int64 {
 	c.mu.Lock()
@@ -87,6 +102,28 @@ const (
 	RndvRegHits    = "rndv_reg_hits"   // registration-cache hits at the target
 	RndvRegMisses  = "rndv_reg_misses" // registration-cache misses (RegisterCost charged)
 )
+
+// Epoch-coordinator counters (package parallel): per-barrier accounting
+// of the conservative-lookahead runner, so shard imbalance — one shard
+// doing all the work while the others spin through empty epochs — is
+// visible in counter dumps and traces. The per-shard names are produced
+// by ShardEpochs/ShardOutboxHighWater so reports line up across
+// packages.
+const (
+	EpochBarriers       = "epoch_barriers"         // lookahead epochs executed
+	EpochImports        = "epoch_imports"          // cross-shard events merged at barriers
+	EpochMergeHighWater = "epoch_merge_high_water" // deepest single-barrier merge queue (Max)
+	SpineRequests       = "spine_requests"         // interior-occupancy requests arbitrated at barriers
+	SpineReqHighWater   = "spine_req_high_water"   // deepest single-barrier arbitration queue (Max)
+)
+
+// ShardEpochs names shard i's active-epoch counter: epochs in which the
+// shard had at least one pending event when the window opened.
+func ShardEpochs(i int) string { return fmt.Sprintf("epoch_shard_%d_active", i) }
+
+// ShardOutboxHighWater names shard i's outbox high-water mark: the most
+// cross-shard events it exported in one epoch (Max).
+func ShardOutboxHighWater(i int) string { return fmt.Sprintf("epoch_shard_%d_outbox_high_water", i) }
 
 // Collective-layer counters (package collective): per-algorithm step,
 // byte and atomic-op accounting, so the cost attribution of the

@@ -19,6 +19,29 @@ func TestAddGet(t *testing.T) {
 	}
 }
 
+func TestMaxHighWater(t *testing.T) {
+	var c Counters
+	c.Max("hw", 3)
+	c.Max("hw", 7)
+	c.Max("hw", 5)
+	if c.Get("hw") != 7 {
+		t.Errorf("hw = %d, want 7 (high-water, not last)", c.Get("hw"))
+	}
+	c.Max("neg", -2) // never below the zero floor of a fresh counter
+	if c.Get("neg") != 0 {
+		t.Errorf("neg = %d, want 0", c.Get("neg"))
+	}
+}
+
+func TestShardNames(t *testing.T) {
+	if ShardEpochs(3) != "epoch_shard_3_active" {
+		t.Errorf("ShardEpochs(3) = %q", ShardEpochs(3))
+	}
+	if ShardOutboxHighWater(0) != "epoch_shard_0_outbox_high_water" {
+		t.Errorf("ShardOutboxHighWater(0) = %q", ShardOutboxHighWater(0))
+	}
+}
+
 func TestSnapshotIsolation(t *testing.T) {
 	var c Counters
 	c.Add("x", 1)

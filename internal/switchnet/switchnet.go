@@ -25,6 +25,7 @@ package switchnet
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"golapi/internal/exec"
@@ -66,6 +67,21 @@ type Config struct {
 	// links contend — adequate for the paper's 2-4 node benchmarks, but
 	// a real SP's bisection is finite.
 	SpineLinks int
+	// FatTreeLevels, when non-empty, replaces the flat spine with a
+	// hierarchical fat-tree interior: FatTreeLevels[l] is the number of
+	// shared links in the pool connecting level-(l+1) switches to level
+	// l+2 (leaves are level 1). A packet climbs to the lowest level at
+	// which source and destination share a group of FatTreeArity^l
+	// ranks, claiming one up-link and one down-link from each pool it
+	// crosses (chosen by a fixed hash of source, destination, level and
+	// direction — routes are static, as on the real switch), and is
+	// charged one WireLatency per level climbed. Endpoint-link
+	// serialization and the adapter's ack/retransmit machinery apply
+	// unchanged per packet. Mutually exclusive with SpineLinks.
+	FatTreeLevels []int
+	// FatTreeArity is the number of ranks per leaf group (and the group
+	// fan-out per level). Required ≥ 2 when FatTreeLevels is set.
+	FatTreeArity int
 }
 
 // DefaultConfig returns the calibration described in DESIGN.md §5: 1 KB
@@ -91,7 +107,45 @@ func (c Config) validate() error {
 	if c.RTO <= 0 {
 		return fmt.Errorf("switchnet: RTO must be positive, got %v", c.RTO)
 	}
+	if len(c.FatTreeLevels) > 0 {
+		if c.SpineLinks > 0 {
+			return fmt.Errorf("switchnet: SpineLinks and FatTreeLevels are mutually exclusive interior models")
+		}
+		if c.FatTreeArity < 2 {
+			return fmt.Errorf("switchnet: FatTreeLevels needs FatTreeArity >= 2, got %d", c.FatTreeArity)
+		}
+		for l, n := range c.FatTreeLevels {
+			if n <= 0 {
+				return fmt.Errorf("switchnet: FatTreeLevels[%d] must be positive, got %d", l, n)
+			}
+		}
+	}
 	return nil
+}
+
+// shardLookahead returns the conservative cross-shard synchronization
+// window a partitioned switch promises: every cross-shard event takes
+// effect at least this much virtual time after its creation. With a
+// positive WireLatency that is the wire latency itself. With zero wire
+// latency, epochs shrink to micro-epochs bounded by the minimum adapter
+// service time — the egress-link occupancy of the smallest possible wire
+// unit (one byte) — since even a zero-latency packet cannot arrive before
+// its bytes have drained onto the link. A config whose minimum service
+// time rounds to zero virtual nanoseconds admits no positive window at
+// all: such a config is unshardable, and the error says so rather than
+// silently falling back to serial execution.
+func (c Config) shardLookahead() (sim.Time, error) {
+	if c.WireLatency > 0 {
+		return sim.Time(c.WireLatency), nil
+	}
+	min := sim.Time(c.wireTime(1))
+	if min < 1 {
+		return 0, fmt.Errorf("switchnet: config is unshardable: WireLatency is zero and the minimum adapter service time (1 byte at %g B/s) rounds to 0 ns, leaving no positive micro-epoch window; set WireLatency > 0 or Bandwidth <= 1e9", c.Bandwidth)
+	}
+	if c.AckBytes < 1 {
+		return 0, fmt.Errorf("switchnet: config is unshardable: WireLatency is zero and AckBytes is %d, so an acknowledgement could cross shards in zero virtual time; micro-epochs need AckBytes >= 1", c.AckBytes)
+	}
+	return min, nil
 }
 
 // wireTime returns the link occupancy for n bytes.
@@ -106,18 +160,57 @@ type Switch struct {
 	// spineFree tracks when each interior spine link is next idle
 	// (SpineLinks > 0).
 	spineFree []sim.Time
-	Counters  stats.Counters
+	// treeFree tracks the fat-tree interior: one occupancy clock per
+	// link per level pool (FatTreeLevels).
+	treeFree [][]sim.Time
+	Counters stats.Counters
 	// shards holds one slot per sub-engine. Single-engine switches (New)
 	// have exactly one; sharded switches (NewSharded) have one per
 	// partition, and each slot's outbox accumulates the cross-shard
 	// events generated while that shard's engine runs an epoch.
 	shards []shardSlot
+	// lookahead is the cross-shard synchronization window promised to
+	// the epoch coordinator (zero on a single-engine switch whose config
+	// admits none — then there is no coordinator to promise it to).
+	lookahead sim.Time
+	// spineMode is set when the switch is partitioned AND has a shared
+	// interior (spine or fat tree): interior occupancies are then
+	// speculatively recorded per shard and arbitrated at the epoch
+	// barrier (ResolveSpine) instead of claimed inline.
+	spineMode bool
+	// instReqs and resolverArmed implement the single-engine interior:
+	// claims made at one virtual instant are deferred to a
+	// due-FIFO resolver at the same instant, so same-instant ties are
+	// arbitrated by source rank — the same order the sharded barrier
+	// uses — instead of by incidental event-creation order.
+	instReqs      []spineReq
+	resolverArmed bool
+	// reqScratch is the barrier arbitration's reusable merge buffer.
+	reqScratch []spineReq
 }
 
 // shardSlot is one partition of a sharded switch.
 type shardSlot struct {
 	eng    *sim.Engine
 	outbox []parallel.Export
+	// spineReqs accumulates the shard's would-be interior occupancies
+	// (spineMode): transmits record their claims here in execution
+	// order, and the barrier arbitrates them against the shared
+	// occupancy clocks in global (timestamp, shard, order) order.
+	spineReqs []spineReq
+}
+
+// spineReq is one speculative interior-occupancy claim: a packet that
+// left its egress link at ready and still needs its spine (or fat-tree)
+// slots assigned before its arrival can be scheduled.
+type spineReq struct {
+	at    sim.Time // transmit execution time: the arbitration key
+	src   int
+	dst   *Adapter
+	ready sim.Time // egress drain: earliest interior entry
+	wire  sim.Time // link occupancy of this packet
+	extra sim.Time // deterministic reorder delay, applied after the interior
+	fn    func()   // the arrival, scheduled on dst's engine once resolved
 }
 
 // New builds a switch with n endpoints on eng.
@@ -130,13 +223,20 @@ func New(eng *sim.Engine, n int, cfg Config) (*Switch, error) {
 // r*shards/n), each owning its private sub-engine. Every adapter's events
 // run on its shard's engine; packet and ack arrivals that cross a shard
 // boundary are exported through per-shard outboxes for an epoch
-// coordinator (parallel.RunEpochs) to deliver, using WireLatency as the
-// conservative lookahead window.
+// coordinator (parallel.RunEpochs) to deliver. The coordinator's
+// lookahead window is WireLatency when positive; a zero-latency config
+// falls back to micro-epochs bounded by the minimum adapter service time
+// (Config.shardLookahead). Interior contention (SpineLinks or
+// FatTreeLevels) is shared by every source adapter, so under sharding it
+// is not claimed inline: each shard records its would-be occupancies
+// speculatively and the epoch barrier arbitrates them in the same stable
+// (timestamp, shard, sequence) order the serial engine's execution
+// produces (ResolveSpine), re-injecting the delayed arrivals — which
+// keeps serial and sharded virtual times byte-identical.
 //
-// Sharded operation (more than one engine) requires WireLatency > 0 —
-// zero lookahead would force zero-width epochs — and SpineLinks == 0: the
-// spine occupancy array is mutable state shared by all source adapters,
-// so a finite-bisection fabric cannot be partitioned by rank.
+// A config that admits no positive lookahead window at all is
+// unshardable; NewSharded returns a descriptive error rather than
+// silently running serial.
 func NewSharded(engines []*sim.Engine, n int, cfg Config) (*Switch, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -148,23 +248,31 @@ func NewSharded(engines []*sim.Engine, n int, cfg Config) (*Switch, error) {
 	if shards > n {
 		return nil, fmt.Errorf("switchnet: %d shards for %d endpoints", shards, n)
 	}
-	if shards > 1 {
-		if cfg.WireLatency <= 0 {
-			return nil, fmt.Errorf("switchnet: sharded operation requires positive WireLatency (the lookahead window), got %v", cfg.WireLatency)
-		}
-		if cfg.SpineLinks > 0 {
-			return nil, fmt.Errorf("switchnet: sharded operation requires SpineLinks == 0 (spine occupancy is shared across all shards)")
-		}
-	}
 	if cfg.ReorderEvery > 0 && cfg.ReorderDelayPackets == 0 {
 		cfg.ReorderDelayPackets = 2
 	}
 	s := &Switch{cfg: cfg, shards: make([]shardSlot, shards)}
+	lookahead, laErr := cfg.shardLookahead()
+	if shards > 1 {
+		if laErr != nil {
+			return nil, laErr
+		}
+		s.lookahead = lookahead
+		s.spineMode = cfg.SpineLinks > 0 || len(cfg.FatTreeLevels) > 0
+	} else if laErr == nil {
+		s.lookahead = lookahead // single-engine: advisory only
+	}
 	for i, eng := range engines {
 		s.shards[i].eng = eng
 	}
 	if cfg.SpineLinks > 0 {
 		s.spineFree = make([]sim.Time, cfg.SpineLinks)
+	}
+	if len(cfg.FatTreeLevels) > 0 {
+		s.treeFree = make([][]sim.Time, len(cfg.FatTreeLevels))
+		for l, links := range cfg.FatTreeLevels {
+			s.treeFree[l] = make([]sim.Time, links)
+		}
 	}
 	s.adapters = make([]*Adapter, n)
 	for i := range s.adapters {
@@ -175,11 +283,12 @@ func NewSharded(engines []*sim.Engine, n int, cfg Config) (*Switch, error) {
 			eng:     engines[shard],
 			shard:   shard,
 			unacked: make(map[uint64]*txPacket),
-			seen:    make([]map[uint64]bool, n),
-			posted:  make(map[directKey]*dregion),
-		}
-		for j := range s.adapters[i].seen {
-			s.adapters[i].seen[j] = make(map[uint64]bool)
+			// seen maps are allocated lazily on first delivery from each
+			// source: at 1k+ ranks an eager n×n map grid dominates
+			// construction time and memory for meshes whose traffic
+			// touches few pairs.
+			seen:   make([]map[uint64]bool, n),
+			posted: make(map[directKey]*dregion),
 		}
 	}
 	return s, nil
@@ -197,8 +306,134 @@ func (s *Switch) ShardOf(rank int) int {
 
 // Lookahead returns the conservative synchronization window for epoch
 // execution: every cross-shard event takes effect at least this much
-// virtual time after its creation (the wire latency).
-func (s *Switch) Lookahead() sim.Time { return sim.Time(s.cfg.WireLatency) }
+// virtual time after its creation — WireLatency when positive, otherwise
+// the micro-epoch window (the minimum adapter service time; see
+// Config.shardLookahead).
+func (s *Switch) Lookahead() sim.Time { return s.lookahead }
+
+// interiorOccupy claims the shared interior links a packet crosses from
+// src to dst, given that its egress drain completes at ready and it
+// occupies each link for wire. It returns the virtual time the packet
+// exits the interior and the number of switch traversals (WireLatency
+// charges). A crossbar has no shared interior (exit = ready, one
+// traversal); a flat spine claims one of SpineLinks pair-hashed links
+// (one traversal, as before the fat tree existed); a fat tree claims one
+// up-link per pool from the leaf to the lowest common level and one
+// down-link per pool back, charging one traversal per level climbed.
+// Routes are a fixed hash of (src, dst, level, direction) — static, as
+// on the real switch — so occupancy is deterministic in claim order.
+func (s *Switch) interiorOccupy(src, dst int, ready, wire sim.Time) (sim.Time, int) {
+	if s.spineFree != nil {
+		// Deterministic multiplicative hash of the (src,dst) pair:
+		// routes are fixed per pair, as on the real switch.
+		h := uint64(src)*0x9E3779B97F4A7C15 ^ uint64(dst)*0xC2B2AE3D27D4EB4F
+		sl := &s.spineFree[h%uint64(len(s.spineFree))]
+		start := ready
+		if *sl > start {
+			start = *sl
+		}
+		*sl = start + wire
+		return *sl, 1
+	}
+	if s.treeFree != nil {
+		arity := s.cfg.FatTreeArity
+		// lstar is the lowest level at which src and dst share a group
+		// (leaves are level 1), capped at the root pool: packets whose
+		// paths differ even at the top still route through the top pool.
+		lstar := 1
+		sg, dg := src/arity, dst/arity
+		for sg != dg && lstar <= len(s.treeFree) {
+			lstar++
+			sg, dg = sg/arity, dg/arity
+		}
+		end := ready
+		claim := func(level, dir int) {
+			pool := s.treeFree[level-1]
+			h := uint64(src)*0x9E3779B97F4A7C15 ^ uint64(dst)*0xC2B2AE3D27D4EB4F ^
+				uint64(level)*0xD6E8FEB86659FD93 ^ uint64(dir)*0xFF51AFD7ED558CCD
+			sl := &pool[h%uint64(len(pool))]
+			if *sl > end {
+				end = *sl
+			}
+			end += wire
+			*sl = end
+		}
+		for l := 1; l < lstar; l++ {
+			claim(l, 0) // up
+		}
+		for l := lstar - 1; l >= 1; l-- {
+			claim(l, 1) // down
+		}
+		return end, lstar
+	}
+	return ready, 1
+}
+
+// resolveReqs arbitrates a batch of speculative interior claims: stable
+// sort by (timestamp, source rank) — each source's claims are already in
+// its own execution order, so the full key is (timestamp, source,
+// per-source sequence) — then resolve against the authoritative
+// occupancy clocks and schedule each arrival on its destination engine.
+// Serial (instant-deferred) and sharded (barrier-deferred) interiors
+// both funnel through here, which is what makes their virtual times
+// identical: the arbitration key never mentions shards or engine event
+// order.
+func (s *Switch) resolveReqs(reqs []spineReq) {
+	sort.SliceStable(reqs, func(i, j int) bool {
+		if reqs[i].at != reqs[j].at {
+			return reqs[i].at < reqs[j].at
+		}
+		return reqs[i].src < reqs[j].src
+	})
+	lat := sim.Time(s.cfg.WireLatency)
+	for i := range reqs {
+		r := &reqs[i]
+		end, hops := s.interiorOccupy(r.src, r.dst.rank, r.ready, r.wire)
+		r.dst.eng.ScheduleAt(end+sim.Time(hops)*lat+r.extra, r.fn)
+	}
+	s.Counters.Add(stats.SpineRequests, int64(len(reqs)))
+	s.Counters.Max(stats.SpineReqHighWater, int64(len(reqs)))
+}
+
+// resolveInstant drains the single-engine interior's same-instant claim
+// batch (armed by transmit via a due-FIFO event at the claim's own
+// virtual instant).
+func (s *Switch) resolveInstant() {
+	s.resolverArmed = false
+	reqs := s.instReqs
+	s.instReqs = s.instReqs[:0]
+	s.resolveReqs(reqs)
+	for i := range reqs {
+		reqs[i] = spineReq{} // drop closure references
+	}
+}
+
+// ResolveSpine is the epoch-barrier arbitration hook
+// (parallel.Hooks.Barrier) for a sharded switch with a shared interior.
+// During the epoch each shard recorded its would-be interior occupancies
+// speculatively (transmit appends to shardSlot.spineReqs instead of
+// touching the shared clocks); here, with every engine parked, the
+// requests of all shards are merged and resolved in the global
+// (timestamp, source, per-source sequence) order (resolveReqs),
+// scheduling each delayed arrival on its destination engine. On a switch
+// without spineMode it is a cheap no-op, so callers may pass it
+// unconditionally.
+func (s *Switch) ResolveSpine() {
+	reqs := s.reqScratch[:0]
+	for i := range s.shards {
+		reqs = append(reqs, s.shards[i].spineReqs...)
+		s.shards[i].spineReqs = s.shards[i].spineReqs[:0]
+	}
+	if len(reqs) == 0 {
+		s.reqScratch = reqs
+		return
+	}
+	s.resolveReqs(reqs)
+	for i := range reqs {
+		reqs[i] = spineReq{} // drop closure references
+	}
+	s.reqScratch = reqs[:0]
+}
 
 // TakeOutbox drains and returns shard's accumulated cross-shard events in
 // creation order — the parallel.RunEpochs collection hook. It must only be
@@ -469,33 +704,44 @@ func (a *Adapter) transmit(p *txPacket, isRetry bool, sent func()) {
 	if drop {
 		a.sw.Counters.Add(stats.PacketsDropped, 1)
 	} else {
-		// Egress-link drain, then (optionally) a shared spine link, then
+		// Egress-link drain, then the shared interior (if any), then
 		// propagation.
 		ready := a.linkFree
-		if a.sw.spineFree != nil {
-			// Deterministic multiplicative hash of the (src,dst) pair:
-			// routes are fixed per pair, as on the real switch.
-			h := uint64(a.rank)*0x9E3779B97F4A7C15 ^ uint64(p.dst)*0xC2B2AE3D27D4EB4F
-			sl := &a.sw.spineFree[h%uint64(len(a.sw.spineFree))]
-			start := ready
-			if *sl > start {
-				start = *sl
-			}
-			*sl = start + sim.Time(wire)
-			ready = *sl
-		}
-		arrive := ready + sim.Time(cfg.WireLatency) + sim.Time(extra)
 		src, seq, data := a.rank, p.seq, p.data
 		dstAd := a.sw.adapters[p.dst]
+		var fn func()
 		if p.direct {
 			token, off := p.token, p.off
-			a.post(dstAd, arrive, func() {
-				dstAd.receiveDirect(src, seq, token, off, data)
-			})
+			fn = func() { dstAd.receiveDirect(src, seq, token, off, data) }
 		} else {
-			a.post(dstAd, arrive, func() {
-				dstAd.receive(src, seq, data)
+			fn = func() { dstAd.receive(src, seq, data) }
+		}
+		switch {
+		case a.sw.spineMode:
+			// Partitioned switch, shared interior: don't touch the
+			// occupancy clocks from inside an epoch. Record the claim;
+			// the barrier arbitrates it (ResolveSpine) and schedules fn.
+			sl := &a.sw.shards[a.shard]
+			sl.spineReqs = append(sl.spineReqs, spineReq{
+				at: eng.Now(), src: src, dst: dstAd,
+				ready: ready, wire: sim.Time(wire), extra: sim.Time(extra), fn: fn,
 			})
+		case a.sw.spineFree != nil || a.sw.treeFree != nil:
+			// Single-engine interior: defer the claim to a resolver at
+			// this same virtual instant (due-FIFO), so same-instant ties
+			// are arbitrated by source rank — matching the sharded
+			// barrier — not by event-creation order.
+			a.sw.instReqs = append(a.sw.instReqs, spineReq{
+				at: eng.Now(), src: src, dst: dstAd,
+				ready: ready, wire: sim.Time(wire), extra: sim.Time(extra), fn: fn,
+			})
+			if !a.sw.resolverArmed {
+				a.sw.resolverArmed = true
+				eng.Schedule(0, a.sw.resolveInstant)
+			}
+		default:
+			arrive := ready + sim.Time(cfg.WireLatency) + sim.Time(extra)
+			a.post(dstAd, arrive, fn)
 		}
 	}
 
@@ -519,6 +765,9 @@ func (a *Adapter) receive(src int, seq uint64, data []byte) {
 	if a.seen[src][seq] {
 		return // duplicate from retransmission
 	}
+	if a.seen[src] == nil {
+		a.seen[src] = make(map[uint64]bool)
+	}
 	a.seen[src][seq] = true
 	a.sw.Counters.Add(stats.PacketsRecv, 1)
 	a.sw.Counters.Add(stats.BytesRecv, int64(len(data)))
@@ -536,6 +785,9 @@ func (a *Adapter) receiveDirect(src int, seq uint64, token uint64, off uint32, d
 	a.sendAck(src, seq)
 	if a.seen[src][seq] {
 		return // duplicate from retransmission
+	}
+	if a.seen[src] == nil {
+		a.seen[src] = make(map[uint64]bool)
 	}
 	a.seen[src][seq] = true
 	a.sw.Counters.Add(stats.PacketsRecv, 1)
