@@ -90,6 +90,19 @@ determinism:
 		echo "determinism: lapivet -json produced no creditflow diagnostics on its golden package"; exit 1; \
 	fi; \
 	echo "determinism: lapivet -json byte-identical across runs (creditflow golden)"
+	@# The concurrency model iterates maps (units, accesses, locksets);
+	@# the racefree golden package proves the diagnostic stream is still
+	@# deterministically ordered.
+	@/tmp/golapi-lapivet -json ./internal/analysis/racefree/testdata/src/rf > /tmp/golapi-lapivet-rf-1.json 2>/dev/null; \
+	/tmp/golapi-lapivet -json ./internal/analysis/racefree/testdata/src/rf > /tmp/golapi-lapivet-rf-2.json 2>/dev/null; \
+	if ! cmp -s /tmp/golapi-lapivet-rf-1.json /tmp/golapi-lapivet-rf-2.json; then \
+		echo "determinism: lapivet -json differs between runs on the racefree golden package:"; \
+		diff /tmp/golapi-lapivet-rf-1.json /tmp/golapi-lapivet-rf-2.json; exit 1; \
+	fi; \
+	if ! grep -q '"pass": "racefree"' /tmp/golapi-lapivet-rf-1.json; then \
+		echo "determinism: lapivet -json produced no racefree diagnostics on its golden package"; exit 1; \
+	fi; \
+	echo "determinism: lapivet -json byte-identical across runs (racefree golden)"
 
 # lapivet enforces the LAPI usage invariants the type system cannot see
 # (DESIGN.md "Usage invariants"): non-blocking header handlers, origin

@@ -1,0 +1,13 @@
+package atomicmix_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"golapi/internal/analysis/analysistest"
+	"golapi/internal/analysis/atomicmix"
+)
+
+func TestAtomicmix(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "am"), atomicmix.Analyzer)
+}

@@ -1,0 +1,118 @@
+// Package main is the atomicmix golden test: a location accessed through
+// sync/atomic must be accessed that way everywhere it can race, and
+// function-style 64-bit atomics must not land on fields that 32-bit layout
+// leaves unaligned. Plain initialization ordered before the goroutines
+// exist is fine.
+package main
+
+import "sync/atomic"
+
+func main() {
+	mix()
+	interproc()
+	loopMix()
+	align()
+	cleanInit()
+	cleanAtomic()
+}
+
+// --- true positives --------------------------------------------------------
+
+type hitStats struct {
+	ops uint64
+}
+
+var hs hitStats
+
+// mix: atomic increments in the goroutine, a plain read in main after the
+// spawn — the read can tear.
+func mix() {
+	go func() {
+		atomic.AddUint64(&hs.ops, 1)
+	}()
+	_ = hs.ops // want `non-atomic access to ops`
+}
+
+type meter struct {
+	faults int64
+}
+
+var mt meter
+
+// kick is the interprocedural plain writer: the diagnostic lands on the
+// write, reached through a call from the spawned literal.
+func kick(m *meter) {
+	m.faults++ // want `non-atomic access to faults`
+}
+
+func interproc() {
+	go func() {
+		kick(&mt)
+	}()
+	go func() {
+		atomic.AddInt64(&mt.faults, 1)
+	}()
+}
+
+type tally struct {
+	n int64
+}
+
+var tl tally
+
+// loopMix is the loop-carried case: plain writes from many instances of
+// one spawn site against an atomic elsewhere.
+func loopMix() {
+	for i := 0; i < 3; i++ {
+		go func() {
+			tl.n++ // want `non-atomic access to n`
+		}()
+	}
+	go func() {
+		atomic.AddInt64(&tl.n, 1)
+	}()
+}
+
+type packed struct {
+	ready bool
+	count uint64
+}
+
+var pk packed
+
+// align: count sits at offset 4 under 32-bit layout; the function-style
+// 64-bit atomic would panic on GOARCH=386/arm.
+func align() {
+	atomic.AddUint64(&pk.count, 1) // want `64-bit atomic on field count`
+}
+
+// --- negatives -------------------------------------------------------------
+
+type gauge struct {
+	level int64
+}
+
+var g gauge
+
+// cleanInit: the plain write precedes the spawn — ordered, not a mix. The
+// field is first in its struct, so the 64-bit atomic is aligned.
+func cleanInit() {
+	g.level = 5
+	go func() {
+		atomic.AddInt64(&g.level, 1)
+	}()
+}
+
+type pureAtomic struct {
+	seq uint64
+}
+
+var pa pureAtomic
+
+// cleanAtomic: every access goes through sync/atomic.
+func cleanAtomic() {
+	go func() {
+		atomic.AddUint64(&pa.seq, 1)
+	}()
+	_ = atomic.LoadUint64(&pa.seq)
+}

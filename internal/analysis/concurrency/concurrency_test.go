@@ -1,0 +1,172 @@
+package concurrency
+
+import (
+	"path/filepath"
+	"testing"
+
+	"golapi/internal/analysis"
+)
+
+// loadModel builds the concurrency model over the cm fixture package.
+func loadModel(t *testing.T) *Model {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", "cm")
+	l, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	var m *Model
+	probe := &analysis.Analyzer{
+		Name: "probe",
+		Doc:  "captures the concurrency model",
+		Run: func(pass *analysis.Pass) error {
+			m = Get(pass)
+			return nil
+		},
+	}
+	if _, _, err := analysis.RunPackage(l, pkg, []*analysis.Analyzer{probe}); err != nil {
+		t.Fatalf("RunPackage: %v", err)
+	}
+	if m == nil {
+		t.Fatal("probe did not run")
+	}
+	return m
+}
+
+// named returns the declared unit with the given function name.
+func named(t *testing.T, m *Model, name string) *Unit {
+	t.Helper()
+	for _, u := range m.Units {
+		if u.Fn != nil && u.Fn.Name() == name {
+			return u
+		}
+	}
+	t.Fatalf("no unit named %s", name)
+	return nil
+}
+
+// spawnRootOf returns the root unit of the single spawn whose parent is
+// the named unit.
+func spawnRootOf(t *testing.T, m *Model, parent string) (*Unit, *Spawn) {
+	t.Helper()
+	p := named(t, m, parent)
+	for _, s := range m.Spawns {
+		if s.Parent == p {
+			return s.Root, s
+		}
+	}
+	t.Fatalf("no spawn with parent %s", parent)
+	return nil, nil
+}
+
+// hasSync reports whether u records a sync op of the given kind on an
+// object with the given name.
+func hasSync(u *Unit, kind SyncKind, objName string) bool {
+	for _, op := range u.Syncs {
+		if op.Kind == kind && op.Obj != nil && op.Obj.Name() == objName {
+			return true
+		}
+	}
+	return false
+}
+
+// TestChannelEdges: close(done) in the spawned goroutine is a release, the
+// parent's <-done the matching acquire — the channel publication edge.
+func TestChannelEdges(t *testing.T) {
+	m := loadModel(t)
+	root, _ := spawnRootOf(t, m, "chanRelease")
+	if !hasSync(root, SyncRelease, "done") {
+		t.Errorf("spawned goroutine: no release on done; syncs: %v", root.Syncs)
+	}
+	if !hasSync(named(t, m, "chanRelease"), SyncAcquire, "done") {
+		t.Error("chanRelease: no acquire on done (the <-done receive)")
+	}
+}
+
+// TestWaitGroupEdges: wg.Done releases, wg.Wait acquires, and the spawn is
+// recognized as fork-joined with a join position at the Wait.
+func TestWaitGroupEdges(t *testing.T) {
+	m := loadModel(t)
+	root, s := spawnRootOf(t, m, "wgJoin")
+	if !hasSync(root, SyncRelease, "wg") {
+		t.Errorf("spawned goroutine: no release on wg; syncs: %v", root.Syncs)
+	}
+	if !hasSync(named(t, m, "wgJoin"), SyncAcquire, "wg") {
+		t.Error("wgJoin: no acquire on wg (the Wait)")
+	}
+	if !s.Joined {
+		t.Error("spawn not marked fork-joined despite Add/Done/Wait")
+	}
+	if s.JoinPos == 0 {
+		t.Error("joined spawn has no JoinPos (the wg.Wait site)")
+	}
+}
+
+// TestBarrierHook: a literal bound to a parallel.Hooks callback field runs
+// with every engine parked — its unit must hold ⟨serialized⟩.
+func TestBarrierHook(t *testing.T) {
+	m := loadModel(t)
+	for _, u := range m.Units {
+		for _, a := range u.Accesses {
+			if a.Obj.Name() == "shared" {
+				if !u.Entry.Has(SerializedLock) {
+					t.Errorf("Barrier hook unit entry = %v, want ⟨serialized⟩", u.Entry)
+				}
+				return
+			}
+		}
+	}
+	t.Fatal("no unit accesses shared: Hooks literal not modeled")
+}
+
+// TestPostArgEdges: rt.PostArg is a release into the serialization domain;
+// the posted handler starts with the matching acquire and a serialized
+// entry lockset.
+func TestPostArgEdges(t *testing.T) {
+	m := loadModel(t)
+	if !hasSync(named(t, m, "postArg"), SyncRelease, SerializedLock.Name()) {
+		t.Error("postArg: PostArg call did not record a ⟨serialized⟩ release")
+	}
+	h := named(t, m, "handle")
+	if !h.Entry.Has(SerializedLock) {
+		t.Errorf("handle entry = %v, want ⟨serialized⟩", h.Entry)
+	}
+	if !hasSync(h, SyncAcquire, SerializedLock.Name()) {
+		t.Error("handle: no ⟨serialized⟩ acquire at entry")
+	}
+}
+
+// lockNamesAt returns the lockset of the first access to objName in u.
+func lockNamesAt(t *testing.T, u *Unit, objName string) LockSet {
+	t.Helper()
+	for _, a := range u.Accesses {
+		if a.Obj.Name() == objName {
+			return a.Locks
+		}
+	}
+	t.Fatalf("%s: no access to %s", u.Fn.Name(), objName)
+	return nil
+}
+
+// TestLocksetJoin: the must-lockset at a CFG merge is the intersection of
+// the incoming paths — a lock held on only one branch is not held after
+// the join, while a lock held on the only path survives.
+func TestLocksetJoin(t *testing.T) {
+	m := loadModel(t)
+	if ls := lockNamesAt(t, named(t, m, "branchLock"), "val"); len(ls) != 0 {
+		t.Errorf("branchLock val lockset = %v, want empty (mu held on one path only)", ls)
+	}
+	ls := lockNamesAt(t, named(t, m, "bothLock"), "val2")
+	if len(ls) != 1 {
+		t.Fatalf("bothLock val2 lockset = %v, want exactly mu", ls)
+	}
+	for o := range ls {
+		if o.Name() != "mu" {
+			t.Errorf("bothLock val2 lockset holds %s, want mu", o.Name())
+		}
+	}
+}

@@ -1,0 +1,187 @@
+// forward.go computes interprocedural spawn-forwarding summaries: an
+// in-module function that hands a function-typed parameter (directly or
+// captured in a closure) to a spawn API effectively spawns its argument.
+// The canonical case is cluster.Job.Run, which wraps each task main in an
+// exec.Runtime.Go activity: a workload literal passed to Run at a call
+// site is not synchronous caller code — it runs as a serialized runtime
+// activity, and must be classed (and lockset-seeded) accordingly.
+//
+// Summaries propagate one call level per round (Sim.Run forwards to
+// Job.Run forwards to Runtime.Go), to a small fixpoint.
+package concurrency
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golapi/internal/analysis"
+)
+
+// forwardKinds computes, for every function-typed parameter of a declared
+// unit, the spawn kind its argument will run under, when the function
+// forwards the parameter to a spawn API.
+func (m *Model) forwardKinds() map[*types.Var]SpawnKind {
+	forward := make(map[*types.Var]SpawnKind)
+	for round := 0; round < 3; round++ {
+		changed := false
+		for _, u := range m.Units {
+			if u.Fn == nil {
+				continue
+			}
+			params := funcParams(u.Fn)
+			if len(params) == 0 {
+				continue
+			}
+			info := u.Pkg.Info
+			record := func(arg ast.Expr, kind SpawnKind) {
+				for _, p := range params {
+					if _, ok := forward[p]; ok {
+						continue
+					}
+					if argForwards(info, arg, p) {
+						forward[p] = kind
+						changed = true
+					}
+				}
+			}
+			ast.Inspect(u.Body, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.GoStmt:
+					record(x.Call.Fun, SpawnGo)
+					return true
+				case *ast.CallExpr:
+					fn := analysis.Callee(info, x)
+					if fn == nil {
+						return true
+					}
+					switch {
+					case m.isExecGo(fn) && len(x.Args) == 2:
+						record(x.Args[1], SpawnRT)
+					case m.isSimGo(fn) && len(x.Args) == 2:
+						record(x.Args[1], SpawnSim)
+					case m.isExecAfter(fn) && len(x.Args) == 2:
+						record(x.Args[1], SpawnAfter)
+					case isTimeAfterFunc(fn) && len(x.Args) == 2:
+						record(x.Args[1], SpawnAfter)
+					case m.isSweepEntry(fn) && len(x.Args) >= 3:
+						record(x.Args[len(x.Args)-1], SpawnSweep)
+					default:
+						// Transitive: an argument fed into a parameter that
+						// itself forwards.
+						for i, cp := range calleeParams(m, fn) {
+							if kind, ok := forward[cp]; ok && i < len(x.Args) {
+								record(x.Args[i], kind)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		if !changed {
+			break
+		}
+	}
+	return forward
+}
+
+// applyForwarding creates spawn sites for function-valued arguments passed
+// into forwarding parameters: the argument's unit becomes a spawn root of
+// the summarized kind, anchored at the call expression.
+func (m *Model) applyForwarding(forward map[*types.Var]SpawnKind) {
+	if len(forward) == 0 {
+		return
+	}
+	for _, u := range m.Units {
+		info := u.Pkg.Info
+		var loopDepth int
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loopDepth++
+				ast.Inspect(nodeBody(x), walk)
+				loopDepth--
+				return false
+			case *ast.CallExpr:
+				fn := analysis.Callee(info, x)
+				if fn == nil {
+					return true
+				}
+				if m.isSpawnAPI(fn) || m.isRegistration(fn) || m.isPost(fn) {
+					return true // already modeled at the call site
+				}
+				for i, cp := range calleeParams(m, fn) {
+					kind, ok := forward[cp]
+					if !ok || i >= len(x.Args) {
+						continue
+					}
+					if root := m.unitForExpr(u, x.Args[i]); root != nil && root != u {
+						m.spawn(u, root, x.Pos(), kind, loopDepth > 0)
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(u.Body, walk)
+	}
+}
+
+// funcParams returns the function-typed parameters of fn (including any
+// variadic func element), as their declared variables.
+func funcParams(fn *types.Func) []*types.Var {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out []*types.Var
+	for i := 0; i < sig.Params().Len(); i++ {
+		p := sig.Params().At(i)
+		if _, isFn := p.Type().Underlying().(*types.Signature); isFn {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// calleeParams returns the positional parameter variables of an in-module
+// callee, or nil for out-of-module functions.
+func calleeParams(m *Model, fn *types.Func) []*types.Var {
+	u := m.unitOf[fn]
+	if u == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	out := make([]*types.Var, sig.Params().Len())
+	for i := range out {
+		out[i] = sig.Params().At(i)
+	}
+	return out
+}
+
+// argForwards reports whether arg is parameter p itself or a function
+// literal capturing p (the Job.Run wrapper closure idiom).
+func argForwards(info *types.Info, arg ast.Expr, p *types.Var) bool {
+	arg = ast.Unparen(arg)
+	if id, ok := arg.(*ast.Ident); ok {
+		return info.Uses[id] == p
+	}
+	lit, ok := arg.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == p {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,111 @@
+// Package main is the concurrency-model unit-test fixture: small functions
+// whose happens-before edges (channel, WaitGroup, barrier hook, PostArg)
+// and lockset joins the white-box tests in the parent package assert on
+// directly. It is a real program (package main) so main-goroutine context
+// is genuine.
+package main
+
+import (
+	"sync"
+
+	"golapi/internal/exec"
+	"golapi/internal/parallel"
+)
+
+func main() {
+	chanRelease()
+	wgJoin()
+	_ = barrierHook()
+	postArg(exec.NewRealRuntime(), 7)
+	branchLock(longLived, true)
+	bothLock(longLived)
+}
+
+var (
+	done   = make(chan struct{})
+	result int
+)
+
+// chanRelease: the goroutine publishes result with close(done); the parent
+// acquires it with the receive.
+func chanRelease() {
+	go func() {
+		result = 1
+		close(done)
+	}()
+	<-done
+	_ = result
+}
+
+var (
+	wg      sync.WaitGroup
+	partial int
+)
+
+// wgJoin: fork-join through the WaitGroup.
+func wgJoin() {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		partial++
+	}()
+	wg.Wait()
+	_ = partial
+}
+
+var shared int
+
+// barrierHook: the Barrier callback runs at the epoch barrier with every
+// engine parked — its unit must hold the ⟨serialized⟩ pseudo-lock.
+func barrierHook() parallel.Hooks {
+	return parallel.Hooks{
+		TakeOutbox: func(shard int) []parallel.Export { return nil },
+		Barrier: func() {
+			shared++
+		},
+	}
+}
+
+var posted int
+
+// handle is the PostArg target: it runs on the runtime's serialization
+// domain.
+func handle(arg any) {
+	posted++
+}
+
+// postArg publishes into the domain: the call is a release, handle's entry
+// the matching acquire.
+func postArg(rt *exec.RealRuntime, v int) {
+	rt.PostArg(handle, v)
+}
+
+// longLived keeps the cell non-fresh at the call sites: a &cell{} argument
+// would qualify for interprocedural constructor freshness and the accesses
+// under test would be dropped.
+var longLived = new(cell)
+
+type cell struct {
+	mu   sync.Mutex
+	val  int
+	val2 int
+}
+
+// branchLock holds mu on only one path into the merge: the must-lockset at
+// the write is the intersection — empty.
+func branchLock(c *cell, cond bool) {
+	if cond {
+		c.mu.Lock()
+	}
+	c.val++
+	if cond {
+		c.mu.Unlock()
+	}
+}
+
+// bothLock holds mu on the only path: the write's lockset keeps it.
+func bothLock(c *cell) {
+	c.mu.Lock()
+	c.val2++
+	c.mu.Unlock()
+}

@@ -1,0 +1,51 @@
+// Package goteardown is lapivet invariant 14: every spawned goroutine must
+// have a statically reachable exit path — the static twin of the gateway
+// churn tests' goroutine-leak polling. A dispatcher loop that can never
+// observe its teardown signal (an infinite for without a return, a select
+// with no closable case, a range over a channel nothing ever closes, or a
+// call into such a function) leaks one goroutine per session, connection,
+// or epoch for the life of the process.
+//
+// The shared concurrency model computes exit reachability per function to
+// a fixpoint: the CFG builder already terminates blocks at panics and
+// os.Exit, and the model additionally cuts calls to never-returning
+// functions and the loop-exit edge of ranges over channels no module code
+// closes. Timer callbacks (After/AfterFunc), sweep jobs (the executor
+// joins them), and registered callbacks (invoked, not looping) are exempt:
+// they are bounded by construction.
+//
+// A deliberately immortal goroutine is suppressed per line with
+// //lapivet:ignore goteardown <reason>.
+package goteardown
+
+import (
+	"golapi/internal/analysis"
+	"golapi/internal/analysis/concurrency"
+)
+
+// Analyzer is the goteardown pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "goteardown",
+	Doc:  "report spawned goroutines with no reachable exit path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	m := concurrency.Get(pass)
+	for _, s := range m.Spawns {
+		if s.Parent.Pkg != pass.Pkg {
+			continue
+		}
+		switch s.Kind {
+		case concurrency.SpawnAfter, concurrency.SpawnSweep, concurrency.SpawnEscape:
+			continue // bounded by construction
+		}
+		noRet, reason := s.Root.NoReturn()
+		if !noRet {
+			continue
+		}
+		pass.Reportf(s.Pos, "%s spawned here never reaches an exit path: %s",
+			s.Kind, reason)
+	}
+	return nil
+}

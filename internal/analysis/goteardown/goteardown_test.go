@@ -1,0 +1,13 @@
+package goteardown_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"golapi/internal/analysis/analysistest"
+	"golapi/internal/analysis/goteardown"
+)
+
+func TestGoteardown(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "gt"), goteardown.Analyzer)
+}

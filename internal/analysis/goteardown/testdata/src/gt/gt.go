@@ -1,0 +1,99 @@
+// Package main is the goteardown golden test: every spawned goroutine must
+// have a statically reachable exit path. Infinite loops, ranges over
+// channels nothing closes, and calls into never-returning helpers leak;
+// loops with a reachable return or a range over a channel the module does
+// close are clean.
+package main
+
+func main() {
+	spinner()
+	ranged()
+	indirect()
+	loopLeak(2)
+	cleanSelect()
+	cleanRange()
+	cleanLoop()
+}
+
+// --- true positives --------------------------------------------------------
+
+// spinner: a bare infinite for.
+func spinner() {
+	go func() { // want `never reaches an exit path`
+		for {
+		}
+	}()
+}
+
+var feed = make(chan int)
+
+// ranged: feed is never closed anywhere in the module, so the range can
+// never terminate.
+func ranged() {
+	go func() { // want `never reaches an exit path`
+		for range feed {
+		}
+	}()
+}
+
+// spin never returns; worker inherits that interprocedurally.
+func spin() {
+	for {
+	}
+}
+
+func worker() {
+	spin()
+}
+
+func indirect() {
+	go worker() // want `never reaches an exit path`
+}
+
+// loopLeak is the loop-carried case: one leaked goroutine per iteration.
+func loopLeak(n int) {
+	for i := 0; i < n; i++ {
+		go func() { // want `never reaches an exit path`
+			for {
+			}
+		}()
+	}
+}
+
+// --- negatives -------------------------------------------------------------
+
+var stop = make(chan struct{})
+
+// cleanSelect: the dispatcher loop observes its teardown signal.
+func cleanSelect() {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	close(stop)
+}
+
+var jobs = make(chan int)
+
+// cleanRange: the module closes jobs, so the range terminates.
+func cleanRange() {
+	go func() {
+		for range jobs {
+		}
+	}()
+	close(jobs)
+}
+
+// cleanLoop: a bounded loop followed by a return.
+func cleanLoop() {
+	go func() {
+		for i := 0; i < 10; i++ {
+			_ = i
+		}
+	}()
+}

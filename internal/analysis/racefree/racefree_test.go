@@ -1,0 +1,13 @@
+package racefree_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"golapi/internal/analysis/analysistest"
+	"golapi/internal/analysis/racefree"
+)
+
+func TestRacefree(t *testing.T) {
+	analysistest.Run(t, filepath.Join("testdata", "src", "rf"), racefree.Analyzer)
+}

@@ -1,0 +1,181 @@
+// Package main is the racefree golden test: cross-goroutine accesses with
+// disjoint locksets and no happens-before edge must be flagged; accesses
+// ordered by a mutex, a fork-join, a pre-spawn write, release/acquire
+// publication, or constructor freshness must stay clean. The package is a
+// real program (package main with a main that calls every case) so the
+// model's main-goroutine context is genuine rather than ambient.
+package main
+
+import "sync"
+
+func main() {
+	basic()
+	postSpawn()
+	loopSpawn()
+	interproc()
+	guarded()
+	preSpawn()
+	published()
+	forked()
+	fresh()
+	freshHelper()
+}
+
+// --- true positives --------------------------------------------------------
+
+type basicState struct {
+	drops int
+}
+
+// basic: two plain goroutines, write vs read, nothing ordering them.
+func basic() {
+	s := &basicState{}
+	go func() {
+		s.drops++ // want `possible data race on drops`
+	}()
+	go func() {
+		_ = s.drops
+	}()
+}
+
+var mode int
+
+// postSpawn: a main-goroutine write textually after the spawn has no
+// pre-spawn program order — it races the spawned read.
+func postSpawn() {
+	go func() {
+		_ = mode
+	}()
+	mode = 1 // want `possible data race on mode`
+}
+
+var total int
+
+// loopSpawn is the loop-carried case: many instances of one spawn site
+// race each other on package-level state.
+func loopSpawn() {
+	for i := 0; i < 4; i++ {
+		go func() {
+			total++ // want `possible data race on total`
+		}()
+	}
+}
+
+type counters struct {
+	misses int
+}
+
+// bump is the interprocedural write target: the race is reported where the
+// write happens, two call chains deep from the spawn sites.
+func bump(c *counters) {
+	c.misses++ // want `possible data race on misses`
+}
+
+func interproc() {
+	c := &counters{}
+	go func() {
+		bump(c)
+	}()
+	go func() {
+		bump(c)
+	}()
+}
+
+// --- negatives -------------------------------------------------------------
+
+type guardedState struct {
+	mu   sync.Mutex
+	hits int
+}
+
+// guarded: both sides hold the same mutex.
+func guarded() {
+	g := &guardedState{}
+	go func() {
+		g.mu.Lock()
+		g.hits++
+		g.mu.Unlock()
+	}()
+	go func() {
+		g.mu.Lock()
+		_ = g.hits
+		g.mu.Unlock()
+	}()
+}
+
+var config int
+
+// preSpawn: the write precedes the spawn in program order.
+func preSpawn() {
+	config = 7
+	go func() {
+		_ = config
+	}()
+}
+
+type pipeline struct {
+	result int
+}
+
+// published: close-after-write matched by receive-before-read.
+func published() {
+	p := &pipeline{}
+	done := make(chan struct{})
+	go func() {
+		p.result = 42
+		close(done)
+	}()
+	<-done
+	_ = p.result
+}
+
+type forkState struct {
+	partial int
+}
+
+// forked: the WaitGroup join orders the worker's write before the
+// parent's read.
+func forked() {
+	f := &forkState{}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		f.partial++
+	}()
+	wg.Wait()
+	_ = f.partial
+}
+
+type box struct {
+	capacity int
+}
+
+// fresh: constructor writes through a brand-new local precede publication.
+func fresh() *box {
+	b := &box{}
+	b.capacity = 10
+	go func() {
+		_ = b.capacity
+	}()
+	return b
+}
+
+type ring struct {
+	slots []int
+}
+
+// init writes only through its receiver, which every call site passes a
+// fresh object: interprocedural constructor freshness.
+func (r *ring) init(n int) {
+	r.slots = make([]int, n)
+}
+
+func freshHelper() *ring {
+	r := &ring{}
+	r.init(8)
+	go func() {
+		_ = len(r.slots)
+	}()
+	return r
+}

@@ -6,13 +6,16 @@ package suite
 
 import (
 	"golapi/internal/analysis"
+	"golapi/internal/analysis/atomicmix"
 	"golapi/internal/analysis/buflifetime"
 	"golapi/internal/analysis/bufreuse"
 	"golapi/internal/analysis/counterproto"
 	"golapi/internal/analysis/creditflow"
 	"golapi/internal/analysis/ctxflow"
+	"golapi/internal/analysis/goteardown"
 	"golapi/internal/analysis/handlerblock"
 	"golapi/internal/analysis/poollifetime"
+	"golapi/internal/analysis/racefree"
 	"golapi/internal/analysis/rndvpin"
 	"golapi/internal/analysis/shardshare"
 	"golapi/internal/analysis/simdeterminism"
@@ -34,5 +37,8 @@ func Analyzers() []*analysis.Analyzer {
 		poollifetime.Analyzer,
 		shardshare.Analyzer,
 		teardownpath.Analyzer,
+		racefree.Analyzer,
+		atomicmix.Analyzer,
+		goteardown.Analyzer,
 	}
 }

@@ -1,0 +1,42 @@
+package suite_test
+
+import (
+	"testing"
+
+	"golapi/internal/analysis/suite"
+)
+
+// TestSuiteList pins the `lapivet -list` surface: the suite's pass names,
+// in reporting order. A pass silently dropped from (or duplicated in) the
+// registry would otherwise vanish from `make lint` without any test
+// noticing.
+func TestSuiteList(t *testing.T) {
+	want := []string{
+		"handlerblock",
+		"bufreuse",
+		"rndvpin",
+		"buflifetime",
+		"counterproto",
+		"creditflow",
+		"ctxflow",
+		"simdeterminism",
+		"poollifetime",
+		"shardshare",
+		"teardownpath",
+		"racefree",
+		"atomicmix",
+		"goteardown",
+	}
+	got := suite.Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("suite has %d passes, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("pass %d = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" {
+			t.Errorf("pass %s has no doc line for -list", a.Name)
+		}
+	}
+}

@@ -63,6 +63,12 @@ func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
 		return nil
 	}
 	fn, _ := info.Uses[id].(*types.Func)
+	if fn != nil {
+		// Methods selected through an instantiated generic (an embedded
+		// Job[T], say) resolve to the instance object; normalize to the
+		// generic origin so lookups keyed by declared functions match.
+		fn = fn.Origin()
+	}
 	return fn
 }
 

@@ -90,12 +90,20 @@ type HotpathReport struct {
 
 	// LintWallMs is one `make lint` equivalent — the full lapivet suite
 	// (including the interprocedural ownership summaries and channel-aware
-	// gateway invariants of lapivet v3) over every module package — so the
-	// summary layer's cost stays visible in the perf trajectory. 0 in
+	// gateway invariants of lapivet v3, and the v4 concurrency model
+	// behind racefree/atomicmix/goteardown) over every module package — so
+	// the analysis layer's cost stays visible in the perf trajectory. 0 in
 	// quick mode: make check runs the real `make lint` gate itself, and
 	// benchsmoke must stay sub-second.
 	LintWallMs float64 `json:"lint_wall_ms"`
 }
+
+// LintBudgetMs caps LintWallMs: the v4 concurrency passes may at most
+// double the v3 suite's 509 ms measured baseline. MeasureHotpath fails
+// when a run exceeds it, so an accidentally quadratic happens-before or
+// lockset fixpoint shows up in `make bench` rather than as a silently
+// slower `make lint`.
+const LintBudgetMs = 1018
 
 // sweepOnce runs the wall-clock reference sweep (Table 2 + Figure 2 +
 // collective) on the given executor. quick trims the swept sizes so make
@@ -228,6 +236,10 @@ func MeasureHotpath(px *parallel.Executor, quick bool) (HotpathReport, error) {
 	if !quick {
 		if r.LintWallMs, err = wallMs(lintOnce); err != nil {
 			return r, err
+		}
+		if r.LintWallMs > LintBudgetMs {
+			return r, fmt.Errorf("lint: %.0f ms exceeds the %d ms budget (2x the pre-concurrency baseline)",
+				r.LintWallMs, LintBudgetMs)
 		}
 	}
 	return r, nil

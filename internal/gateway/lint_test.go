@@ -6,8 +6,12 @@ import (
 	"testing"
 
 	"golapi/internal/analysis"
+	"golapi/internal/analysis/atomicmix"
 	"golapi/internal/analysis/buflifetime"
+	"golapi/internal/analysis/concurrency"
 	"golapi/internal/analysis/creditflow"
+	"golapi/internal/analysis/goteardown"
+	"golapi/internal/analysis/racefree"
 	"golapi/internal/analysis/summary"
 	"golapi/internal/analysis/teardownpath"
 )
@@ -70,6 +74,81 @@ func TestLintClean(t *testing.T) {
 	}
 
 	passes := []*analysis.Analyzer{buflifetime.Analyzer, creditflow.Analyzer, teardownpath.Analyzer}
+	diags, _, err := analysis.RunPackage(l, pkg, passes)
+	if err != nil {
+		t.Fatalf("RunPackage: %v", err)
+	}
+	for _, d := range diags {
+		pos := l.Fset.Position(d.Pos)
+		name := pos.Filename
+		if i := strings.LastIndexByte(name, '/'); i >= 0 {
+			name = name[i+1:]
+		}
+		t.Errorf("%s:%d: [%s] %s", name, pos.Line, d.Analyzer, d.Message)
+	}
+}
+
+// TestConcurrencyClean locks in the lapivet v4 result: the reader →
+// dispatcher → writer pipeline carries zero unsuppressed racefree,
+// atomicmix and goteardown findings. The probe first proves the result is
+// non-vacuous — the concurrency model actually sees this package's
+// goroutines (the readLoop/writeLoop spawns), recognizes at least one of
+// them as serialized (the PostArg dispatcher domain), and resolves
+// lock-guarded accesses — so a refactor that silently broke goroutine or
+// lockset inference cannot turn this into a test of nothing.
+func TestConcurrencyClean(t *testing.T) {
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir(".")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+
+	probe := &analysis.Analyzer{
+		Name: "probe",
+		Doc:  "verifies the concurrency model activates on this package",
+		Run: func(pass *analysis.Pass) error {
+			m := concurrency.Get(pass)
+			spawns, serialized := 0, 0
+			for _, s := range m.Spawns {
+				if s.Parent.Pkg != pass.Pkg {
+					continue
+				}
+				spawns++
+				if s.Serialized {
+					serialized++
+				}
+			}
+			if spawns == 0 {
+				t.Error("model sees no spawns in this package: the session goroutines are invisible")
+			}
+			if serialized == 0 {
+				t.Error("model sees no serialized spawn: the dispatcher domain is no longer recognized")
+			}
+			locked := false
+			for _, u := range m.Units {
+				if u.Pkg != pass.Pkg {
+					continue
+				}
+				for _, a := range u.Accesses {
+					if len(a.Locks) > 0 {
+						locked = true
+					}
+				}
+			}
+			if !locked {
+				t.Error("no lock-guarded access resolved in this package: lockset inference is dead")
+			}
+			return nil
+		},
+	}
+	if _, _, err := analysis.RunPackage(l, pkg, []*analysis.Analyzer{probe}); err != nil {
+		t.Fatalf("RunPackage(probe): %v", err)
+	}
+
+	passes := []*analysis.Analyzer{racefree.Analyzer, atomicmix.Analyzer, goteardown.Analyzer}
 	diags, _, err := analysis.RunPackage(l, pkg, passes)
 	if err != nil {
 		t.Fatalf("RunPackage: %v", err)

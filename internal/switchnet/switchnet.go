@@ -533,7 +533,7 @@ func (a *Adapter) N() int { return len(a.sw.adapters) }
 func (a *Adapter) MaxPacket() int { return a.sw.cfg.PacketBytes }
 
 // SetDeliver implements fabric.Transport.
-func (a *Adapter) SetDeliver(fn func(src int, data []byte)) { a.deliver = fn }
+func (a *Adapter) SetDeliver(fn func(src int, data []byte)) { a.deliver = fn } //lapivet:ignore racefree registration precedes wire-up: no Send can deliver before the callback is installed
 
 // Alloc implements fabric.Transport. The switch does not pool: sent packets
 // are retained by the retransmission machinery (and delivered slices alias
@@ -548,7 +548,7 @@ func (a *Adapter) Release(pkt []byte) {}
 func (a *Adapter) Contract() fabric.Contract { return fabric.Contract{Direct: true} }
 
 // SetDirectDone implements fabric.Transport.
-func (a *Adapter) SetDirectDone(fn func(src int, token uint64)) { a.directDone = fn }
+func (a *Adapter) SetDirectDone(fn func(src int, token uint64)) { a.directDone = fn } //lapivet:ignore racefree registration precedes wire-up: no direct send can complete before the callback is installed
 
 // RecvInto implements fabric.Transport: posts buf as the landing region
 // for direct fragments from (src, token). Completion (the SetDirectDone

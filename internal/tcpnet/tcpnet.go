@@ -573,16 +573,23 @@ func (e *Endpoint) readDirect(peer int, cn *conn, sub []byte, n int) bool {
 	k := postKey{src: peer, token: token}
 	e.mu.Lock()
 	r := e.posted[k]
+	var buf []byte
+	if r != nil {
+		// Snapshot the landing buffer while holding mu: the loopback
+		// SendDirect timer nils and recycles r.buf under the same lock, so
+		// the field must not be re-read after the unlock.
+		buf = r.buf
+	}
 	e.mu.Unlock()
-	if r == nil || off < 0 || off+plen > len(r.buf) {
+	if r == nil || off < 0 || off+plen > len(buf) {
 		return false
 	}
-	if _, err := io.ReadFull(cn.c, r.buf[off:off+plen]); err != nil {
+	if _, err := io.ReadFull(cn.c, buf[off:off+plen]); err != nil {
 		return false
 	}
 	e.mu.Lock()
 	r.recvd += plen
-	complete := r.recvd >= len(r.buf)
+	complete := r.recvd >= len(buf)
 	var done func(src int, token uint64)
 	if complete {
 		delete(e.posted, k)
